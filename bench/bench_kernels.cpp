@@ -1,0 +1,171 @@
+// Kernel microbenchmarks (google-benchmark): sustained cell rates of every
+// alignment engine, override-triangle probes, queue operations, and the
+// full-matrix traceback. These are the primitives behind every table in the
+// paper; bench_table*.cpp report the paper-shaped numbers.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "align/engine.hpp"
+#include "align/override_triangle.hpp"
+#include "align/traceback.hpp"
+#include "core/task_queue.hpp"
+#include "seq/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace repro;
+
+const seq::Scoring& scoring() {
+  static const seq::Scoring s = seq::Scoring::protein_default();
+  return s;
+}
+
+const seq::Sequence& titin(int m) {
+  static std::map<int, seq::Sequence> cache;
+  auto it = cache.find(m);
+  if (it == cache.end())
+    it = cache.emplace(m, seq::synthetic_titin(m, 2003).sequence).first;
+  return it->second;
+}
+
+void run_engine_bench(benchmark::State& state, align::EngineKind kind) {
+  const int m = static_cast<int>(state.range(0));
+  const auto& s = titin(m);
+  const auto engine = align::make_engine(kind);
+  const int r0 = m / 2;
+  const int count = engine->lanes();
+  std::vector<std::vector<align::Score>> store(static_cast<std::size_t>(count));
+  std::vector<std::span<align::Score>> outs(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    store[static_cast<std::size_t>(k)].resize(static_cast<std::size_t>(m - (r0 + k)));
+    outs[static_cast<std::size_t>(k)] = store[static_cast<std::size_t>(k)];
+  }
+  align::GroupJob job;
+  job.seq = s.codes();
+  job.scoring = &scoring();
+  job.r0 = r0;
+  job.count = count;
+  for (auto _ : state) {
+    engine->align(job, outs);
+    benchmark::DoNotOptimize(store[0].data());
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(engine->cells_computed()), benchmark::Counter::kIsRate);
+}
+
+void BM_Scalar(benchmark::State& state) {
+  run_engine_bench(state, align::EngineKind::kScalar);
+}
+void BM_ScalarStriped(benchmark::State& state) {
+  run_engine_bench(state, align::EngineKind::kScalarStriped);
+}
+void BM_Simd4Generic(benchmark::State& state) {
+  run_engine_bench(state, align::EngineKind::kSimd4Generic);
+}
+void BM_Simd8Generic(benchmark::State& state) {
+  run_engine_bench(state, align::EngineKind::kSimd8Generic);
+}
+#if REPRO_HAVE_SSE2
+void BM_Simd4Sse2(benchmark::State& state) {
+  run_engine_bench(state, align::EngineKind::kSimd4);
+}
+void BM_Simd8Sse2(benchmark::State& state) {
+  run_engine_bench(state, align::EngineKind::kSimd8);
+}
+#endif
+void BM_Simd16Avx2(benchmark::State& state) {
+  if (!align::avx2_available()) {
+    state.SkipWithError("AVX2 not available");
+    return;
+  }
+  run_engine_bench(state, align::EngineKind::kSimd16);
+}
+
+BENCHMARK(BM_Scalar)->Arg(1000)->Arg(3000);
+BENCHMARK(BM_ScalarStriped)->Arg(1000)->Arg(3000);
+BENCHMARK(BM_Simd4Generic)->Arg(3000);
+BENCHMARK(BM_Simd8Generic)->Arg(3000);
+#if REPRO_HAVE_SSE2
+BENCHMARK(BM_Simd4Sse2)->Arg(1000)->Arg(3000);
+BENCHMARK(BM_Simd8Sse2)->Arg(1000)->Arg(3000);
+#endif
+BENCHMARK(BM_Simd16Avx2)->Arg(1000)->Arg(3000);
+
+void BM_GeneralGapCell(benchmark::State& state) {
+  // The old algorithm's O(n)/cell kernel on a small rectangle.
+  const int m = static_cast<int>(state.range(0));
+  const auto& s = titin(std::max(m, 200));
+  const auto sub = s.subsequence(0, m);
+  const auto engine = align::make_engine(align::EngineKind::kGeneralGap);
+  align::GroupJob job;
+  job.seq = sub.codes();
+  job.scoring = &scoring();
+  job.r0 = m / 2;
+  job.count = 1;
+  std::vector<align::Score> row(static_cast<std::size_t>(m - m / 2));
+  std::span<align::Score> out(row);
+  for (auto _ : state) {
+    engine->align(job, std::span<const std::span<align::Score>>(&out, 1));
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(engine->cells_computed()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GeneralGapCell)->Arg(200)->Arg(400);
+
+void BM_OverrideContains(benchmark::State& state) {
+  const int m = 4000;
+  align::OverrideTriangle tri(m);
+  util::Rng rng(5);
+  for (int k = 0; k < 20000; ++k) {
+    const int i = static_cast<int>(rng.below(m - 1));
+    const int j = i + 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(m - 1 - i)));
+    tri.set(i, j);
+  }
+  int i = 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const int a = i % (m - 1);
+    acc += tri.contains(a, a + 1 + (i * 7) % (m - 1 - a)) ? 1 : 0;
+    ++i;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_OverrideContains);
+
+void BM_QueuePushPop(benchmark::State& state) {
+  const auto groups = core::make_groups(8000, 8);
+  for (auto _ : state) {
+    core::GroupQueue queue;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+      queue.push(static_cast<int>(gi), groups[gi].key());
+    while (auto top = queue.pop_best()) benchmark::DoNotOptimize(*top);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(groups.size()));
+}
+BENCHMARK(BM_QueuePushPop);
+
+void BM_Traceback(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto& s = titin(m);
+  align::GroupJob job;
+  job.seq = s.codes();
+  job.scoring = &scoring();
+  job.r0 = m / 2;
+  job.count = 1;
+  for (auto _ : state) {
+    const auto tb = align::traceback_best(job);
+    benchmark::DoNotOptimize(tb.score);
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * (m / 2) * (m - m / 2),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Traceback)->Arg(1000)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

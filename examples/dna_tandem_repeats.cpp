@@ -1,0 +1,92 @@
+// Detect tandem repeats in DNA — the genomic side of the paper's title
+// (microsatellite/minisatellite-style repeats; the paper motivates repeats
+// in genomes down to 2-3 nucleotides and disease-associated expansions).
+//
+//   $ ./dna_tandem_repeats                         # synthetic ground truth
+//   $ ./dna_tandem_repeats --fasta reads.fa        # scan every record
+//
+// For the synthetic case the implanted truth is printed next to the
+// detected regions so recall is visible at a glance.
+#include <iostream>
+
+#include "core/consensus.hpp"
+#include "core/delineate.hpp"
+#include "core/top_alignment_finder.hpp"
+#include "seq/fasta.hpp"
+#include "seq/generator.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+void scan(const repro::seq::Sequence& dna, int tops_wanted) {
+  using namespace repro;
+  core::FinderOptions opt;
+  opt.num_top_alignments = tops_wanted;
+  opt.min_score = 16;  // skip chance self-matches of random background
+  // BLAST-like DNA metric. (The paper's running-example metric — match +2,
+  // mismatch -1, gap 2+L — is illustrative only: on long random DNA it is
+  // in the *linear* score regime, where spurious self-alignments grow with
+  // length and swamp real repeats.)
+  const seq::Scoring metric{seq::ScoreMatrix::dna(2, -3), seq::GapPenalty{5, 2}};
+  const auto res = core::find_top_alignments(dna, metric, opt);
+  std::cout << dna.name() << " (" << dna.length() << " bp): "
+            << res.tops.size() << " top alignments";
+  if (!res.tops.empty())
+    std::cout << ", best score " << res.tops.front().score;
+  std::cout << '\n';
+
+  core::DelineateOptions dopt;
+  dopt.min_region = 12;
+  dopt.min_support = 6;
+  const auto regions = core::delineate_repeats(dna, res.tops, dopt);
+  for (const auto& region : regions) {
+    std::cout << "  repeat region [" << region.begin << ", " << region.end
+              << ")  unit ~" << region.period << " bp, ~" << region.copies
+              << " copies\n";
+    const core::RepeatProfile profile = core::build_profile(dna, region);
+    if (profile.period > 0) {
+      std::cout << "    consensus (phase-tuned @" << profile.begin
+                << "): " << profile.consensus << "\n    copy identities:";
+      for (const double identity : profile.copy_identity)
+        std::cout << ' ' << static_cast<int>(identity * 100 + 0.5) << '%';
+      std::cout << "  (mean "
+                << static_cast<int>(profile.mean_identity * 100 + 0.5)
+                << "%)\n";
+    }
+  }
+  if (regions.empty()) std::cout << "  no repeat regions above thresholds\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  util::Args args(argc, argv,
+                  {{"length", "synthetic sequence length"},
+                   {"unit", "implanted repeat unit length"},
+                   {"copies", "implanted copies"},
+                   {"seed", "generator seed"},
+                   {"tops", "top alignments per sequence"},
+                   {"fasta", "scan records from this FASTA file instead"}});
+  if (args.help_requested()) return 0;
+  const int tops = static_cast<int>(args.get_int("tops", 12));
+
+  if (args.has("fasta")) {
+    const auto records =
+        seq::read_fasta_file(args.get("fasta", ""), seq::Alphabet::dna());
+    for (const auto& record : records) scan(record, tops);
+    return 0;
+  }
+
+  const int length = static_cast<int>(args.get_int("length", 600));
+  const int unit = static_cast<int>(args.get_int("unit", 18));
+  const int copies = static_cast<int>(args.get_int("copies", 9));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto g = seq::synthetic_dna_tandem(length, unit, copies, seed);
+
+  std::cout << "implanted ground truth: " << g.copies.size() << " copies of a "
+            << unit << " bp unit at [" << g.copies.front().begin << ", "
+            << g.copies.back().end << ")\n\n";
+  scan(g.sequence, tops);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Domain discovery across a set of proteins with automatic significance
+// thresholds — the workflow the paper's introduction motivates: scan
+// proteins for internal domain repeats whose ancestral similarity has
+// eroded, and characterise the repeating unit.
+//
+//   $ ./domain_discovery                     # synthetic family, ground truth
+//   $ ./domain_discovery --fasta prots.fa    # your own proteins
+//
+// Pipeline per protein: (1) calibrate a null score threshold from shuffled
+// copies (composition-preserving), (2) search top alignments above it,
+// (3) delineate repeat regions, (4) build phase-tuned consensus profiles.
+#include <iostream>
+
+#include "core/consensus.hpp"
+#include "core/delineate.hpp"
+#include "core/significance.hpp"
+#include "core/top_alignment_finder.hpp"
+#include "seq/fasta.hpp"
+#include "seq/generator.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct Discovery {
+  std::string name;
+  int length = 0;
+  align::Score threshold = 0;
+  int tops = 0;
+  int regions = 0;
+  int best_period = 0;
+  double best_identity = 0.0;
+};
+
+Discovery scan(const seq::Sequence& protein, int tops_wanted) {
+  Discovery d;
+  d.name = protein.name();
+  d.length = protein.length();
+  const seq::Scoring scoring = seq::Scoring::protein_default();
+
+  core::SignificanceOptions sopt;
+  sopt.samples = 8;
+  d.threshold = core::score_threshold(protein, scoring, sopt);
+
+  core::FinderOptions opt;
+  opt.num_top_alignments = tops_wanted;
+  opt.min_score = d.threshold;
+  const auto res = core::find_top_alignments(protein, scoring, opt);
+  d.tops = static_cast<int>(res.tops.size());
+
+  const auto regions = core::delineate_repeats(protein, res.tops);
+  d.regions = static_cast<int>(regions.size());
+  const auto profiles = core::build_profiles(protein, regions);
+  for (const auto& profile : profiles) {
+    if (profile.mean_identity > d.best_identity) {
+      d.best_identity = profile.mean_identity;
+      d.best_period = profile.period;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv,
+                  {{"fasta", "scan proteins from this FASTA file"},
+                   {"proteins", "number of synthetic proteins (default 4)"},
+                   {"length", "synthetic protein length (default 900)"},
+                   {"tops", "top alignments per protein (default 20)"},
+                   {"seed", "generator seed"}});
+  if (args.help_requested()) return 0;
+  const int tops = static_cast<int>(args.get_int("tops", 20));
+
+  std::vector<seq::Sequence> proteins;
+  if (args.has("fasta")) {
+    proteins = seq::read_fasta_file(args.get("fasta", ""), seq::Alphabet::protein());
+  } else {
+    // A synthetic "family": repeat-bearing proteins with different unit
+    // lengths and conservations, plus one repeat-free negative control.
+    const int length = static_cast<int>(args.get_int("length", 900));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const int n = static_cast<int>(args.get_int("proteins", 4));
+    for (int k = 0; k < n - 1; ++k) {
+      seq::RepeatSpec spec;
+      spec.unit_length = 40 + 25 * k;
+      spec.copies = std::max(3, length / (spec.unit_length + 10) - 1);
+      spec.conservation = 0.45 + 0.1 * k;
+      spec.indel_rate = 0.02;
+      auto g = seq::make_repeat_sequence(seq::Alphabet::protein(), length, spec,
+                                         seed + static_cast<std::uint64_t>(k),
+                                         "family-member-" + std::to_string(k + 1));
+      proteins.push_back(std::move(g.sequence));
+      std::cout << "ground truth " << proteins.back().name() << ": unit "
+                << spec.unit_length << ", ~" << spec.copies << " copies, "
+                << static_cast<int>(spec.conservation * 100) << " % conserved\n";
+    }
+    proteins.push_back(seq::random_sequence(seq::Alphabet::protein(), length,
+                                            seed + 99, "negative-control"));
+    std::cout << "ground truth negative-control: no repeats\n\n";
+  }
+
+  util::Table table({"protein", "len", "null threshold", "tops", "regions",
+                     "best period", "identity %"});
+  for (const auto& protein : proteins) {
+    const Discovery d = scan(protein, tops);
+    table.add_row({d.name, static_cast<long long>(d.length),
+                   static_cast<long long>(d.threshold),
+                   static_cast<long long>(d.tops),
+                   static_cast<long long>(d.regions),
+                   static_cast<long long>(d.best_period),
+                   static_cast<double>(static_cast<int>(d.best_identity * 1000 + 0.5)) / 10.0});
+  }
+  table.print(std::cout);
+  std::cout << "\n(a repeat-free protein should show few/no tops above its "
+               "null threshold and no regions)\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Archive of first-alignment bottom rows (paper Appendix A).
+//
+// After a rectangle is aligned for the first time (empty override triangle),
+// its bottom row is stored. Realigned bottom-row entries are compared against
+// the stored originals: an entry is a *valid* alignment end only if the two
+// values are equal; unequal values signify shadow alignments that were
+// artificially rerouted around overridden entries.
+//
+// Storage is the dominant data structure: m(m-1)/2 entries. Entries are i16
+// (as in the paper, which reports 1.5 GB at m = 40000 — 2 bytes each);
+// writes check for overflow.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/types.hpp"
+
+namespace repro::align {
+
+class BottomRowStore {
+ public:
+  /// Store for a sequence of length m (rows for splits r in [1, m-1]).
+  explicit BottomRowStore(int m);
+
+  [[nodiscard]] int sequence_length() const { return m_; }
+
+  [[nodiscard]] bool computed(int r) const {
+    return computed_[static_cast<std::size_t>(r)] != 0;
+  }
+
+  /// Stores the first-alignment bottom row of rectangle r (m - r scores).
+  /// Throws if the row was already stored or a score exceeds i16 range.
+  void store(int r, std::span<const Score> row);
+
+  /// Read-only view of the stored row; `computed(r)` must hold.
+  [[nodiscard]] std::span<const std::int16_t> row(int r) const;
+
+  /// Total bytes held (reported by benches; the paper discusses this limit).
+  [[nodiscard]] std::size_t bytes() const {
+    return data_.size() * sizeof(std::int16_t);
+  }
+
+ private:
+  [[nodiscard]] std::size_t offset(int r) const {
+    // Rows are laid out consecutively: row r has m - r entries starting at
+    // sum_{k=1}^{r-1} (m - k).
+    const auto rr = static_cast<std::size_t>(r);
+    const auto mm = static_cast<std::size_t>(m_);
+    return (rr - 1) * mm - (rr - 1) * rr / 2;
+  }
+
+  int m_;
+  std::vector<std::int16_t> data_;
+  // One byte per row, not vector<bool>: concurrent first-alignments of
+  // *different* rows may store in parallel (distinct memory locations).
+  std::vector<std::uint8_t> computed_;
+};
+
+}  // namespace repro::align

@@ -1,0 +1,93 @@
+// Score-only alignment engines.
+//
+// Engines compute the bottom rows of one *group* of neighbouring rectangles
+// (paper §4.1: SIMD engines process 4/8/16 consecutive splits in one
+// interleaved sweep; scalar engines process one). The finder layers —
+// sequential, shared-memory, distributed — are all written against this
+// interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "align/types.hpp"
+
+namespace repro::align {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Lanes per group; the finder schedules groups of exactly this many
+  /// consecutive splits (the last group of a sequence may be partial).
+  [[nodiscard]] virtual int lanes() const = 0;
+
+  /// Computes bottom rows for splits job.r0 .. job.r0+job.count-1.
+  /// out[k] must have exactly m - (job.r0 + k) elements.
+  virtual void align(const GroupJob& job,
+                     std::span<const std::span<Score>> out) = 0;
+
+  /// Convenience wrapper for single-rectangle use (tests, traceback prep).
+  std::vector<Score> align_one(const GroupJob& job);
+
+  /// Cells computed since construction (each lane-cell counts once, so SIMD
+  /// engines accumulate lanes x rows x columns — the quantity behind the
+  /// paper's "more than a billion matrix entries per second").
+  [[nodiscard]] std::uint64_t cells_computed() const { return cells_; }
+
+  /// Group alignments performed since construction.
+  [[nodiscard]] std::uint64_t alignments_performed() const { return aligns_; }
+
+  void reset_counters() {
+    cells_ = 0;
+    aligns_ = 0;
+  }
+
+ protected:
+  std::uint64_t cells_ = 0;
+  std::uint64_t aligns_ = 0;
+};
+
+enum class EngineKind {
+  kScalar,         ///< Fig. 3 recurrence, row-major, O(1)/cell
+  kScalarStriped,  ///< scalar + cache-aware vertical striping (§4.1)
+  kGeneralGap,     ///< Eq. 1 by explicit row/column scans, O(n)/cell — the
+                   ///< per-cell cost model of the old (1993) algorithm
+  kSimd4,          ///< 4 x i16 lanes (paper: Pentium III SSE)
+  kSimd8,          ///< 8 x i16 lanes (paper: Pentium 4 SSE2)
+  kSimd16,         ///< 16 x i16 lanes (AVX2; the paper's natural successor)
+  kSimd4Generic,   ///< 4 scalar lanes, no intrinsics (portable reference)
+  kSimd8Generic,   ///< 8 scalar lanes, no intrinsics (portable reference)
+  kSimd4x32,       ///< 4 x i32 lanes (SSE4.1) — no saturation limit
+  kSimd8x32,       ///< 8 x i32 lanes (AVX2) — no saturation limit
+  kSimd4x32Generic ///< 4 scalar i32 lanes (portable reference)
+};
+
+/// Creates an engine; throws when the requested SIMD width is not supported
+/// by this build/CPU. `stripe_cols` (0 = engine default, -1 = no striping)
+/// controls the cache-aware striping of striped/SIMD engines.
+std::unique_ptr<Engine> make_engine(EngineKind kind, int stripe_cols = 0);
+
+/// Widest SIMD engine supported at runtime, falling back to scalar.
+std::unique_ptr<Engine> make_best_engine();
+
+/// Factory for per-thread / per-rank engines (engines are not thread-safe;
+/// every parallel worker owns one).
+using EngineFactory = std::function<std::unique_ptr<Engine>()>;
+
+/// Factory producing make_engine(kind, stripe_cols) instances.
+EngineFactory engine_factory(EngineKind kind, int stripe_cols = 0);
+
+/// True when the AVX2 engine can run on this CPU and build.
+bool avx2_available();
+
+/// True when the SSE4.1 (4 x i32) engine can run on this CPU and build.
+bool sse41_available();
+
+}  // namespace repro::align

@@ -1,0 +1,39 @@
+#include "align/override_triangle.hpp"
+
+namespace repro::align {
+
+OverrideTriangle::OverrideTriangle(int m) : m_(m) {
+  REPRO_CHECK_MSG(m >= 2, "override triangle needs a sequence of length >= 2");
+  row_offset_.resize(static_cast<std::size_t>(m_));
+  std::size_t off = 0;
+  for (int i = 0; i < m_; ++i) {
+    row_offset_[static_cast<std::size_t>(i)] = off;
+    const int row_len = m_ - 1 - i;  // number of valid j for this i
+    off += static_cast<std::size_t>((row_len + 63) / 64);
+  }
+  words_ = off;
+  bits_ = std::make_unique<std::atomic<std::uint64_t>[]>(words_);
+  for (std::size_t w = 0; w < words_; ++w)
+    bits_[w].store(0, std::memory_order_relaxed);
+  row_dirty_ = std::vector<std::atomic<bool>>(static_cast<std::size_t>(m_));
+  for (auto& d : row_dirty_) d.store(false, std::memory_order_relaxed);
+}
+
+void OverrideTriangle::set(int i, int j) {
+  REPRO_CHECK(0 <= i && i < j && j < m_);
+  const std::int64_t b = j - i - 1;
+  std::atomic<std::uint64_t>& word = row_ptr(i)[b >> 6];
+  const std::uint64_t mask = std::uint64_t{1} << (b & 63);
+  const std::uint64_t old = word.fetch_or(mask, std::memory_order_relaxed);
+  if ((old & mask) == 0) count_.fetch_add(1, std::memory_order_relaxed);
+  row_dirty_[static_cast<std::size_t>(i)].store(true, std::memory_order_relaxed);
+}
+
+void OverrideTriangle::clear() {
+  for (std::size_t w = 0; w < words_; ++w)
+    bits_[w].store(0, std::memory_order_relaxed);
+  for (auto& d : row_dirty_) d.store(false, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace repro::align

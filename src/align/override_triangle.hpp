@@ -1,0 +1,78 @@
+// The override triangle (paper §3).
+//
+// A bit per global residue pair (i, j), i < j. When a top alignment is
+// accepted, the pairs on its traceback path are set; subsequent realignments
+// force the corresponding matrix entries — in *every* rectangle containing
+// the pair — to zero.
+//
+// Concurrency: the shared-memory scheduler (§4.2) lets speculative
+// realignments overlap an acceptance that is growing the triangle. Bits are
+// therefore stored in atomic words (relaxed; a plain load/store on x86).
+// A reader racing a grow may observe a mix of old/new bits; the finder
+// labels every alignment with the triangle *version* read before the kernel
+// starts, and results labelled with a stale version are never accepted, so
+// mixed observations cannot leak into accepted alignments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace repro::align {
+
+class OverrideTriangle {
+ public:
+  /// Triangle over a sequence of length m (pairs 0 <= i < j < m).
+  explicit OverrideTriangle(int m);
+
+  [[nodiscard]] int sequence_length() const { return m_; }
+
+  /// Number of pairs currently overridden.
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool contains(int i, int j) const {
+    REPRO_DCHECK(0 <= i && i < j && j < m_);
+    const std::int64_t b = j - i - 1;
+    return (row_ptr(i)[b >> 6].load(std::memory_order_relaxed) >> (b & 63)) & 1;
+  }
+
+  /// Marks pair (i, j); idempotent.
+  void set(int i, int j);
+
+  void clear();
+
+  /// Kernel-level access: word array of row i; bit b corresponds to j = i+1+b.
+  [[nodiscard]] const std::atomic<std::uint64_t>* row_bits(int i) const {
+    return row_ptr(i);
+  }
+
+  /// True when row i has no overridden pairs at all (lets kernels skip the
+  /// per-cell test on untouched rows — the triangle is sparse).
+  [[nodiscard]] bool row_empty(int i) const {
+    return !row_dirty_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  [[nodiscard]] const std::atomic<std::uint64_t>* row_ptr(int i) const {
+    return bits_.get() + row_offset_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::atomic<std::uint64_t>* row_ptr(int i) {
+    return bits_.get() + row_offset_[static_cast<std::size_t>(i)];
+  }
+
+  int m_;
+  std::atomic<std::int64_t> count_ = 0;
+  // Each row i is word-aligned: ceil((m-1-i)/64) words. Word alignment keeps
+  // the hot contains() test a single shift+mask.
+  std::vector<std::size_t> row_offset_;
+  std::size_t words_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bits_;
+  std::vector<std::atomic<bool>> row_dirty_;
+};
+
+}  // namespace repro::align

@@ -1,0 +1,73 @@
+// The conventional (non-SIMD) score-only kernel: the Fig.-3 recurrence with
+// running gap maxima, one row of state, O(1) work per cell.
+#include <algorithm>
+#include <vector>
+
+#include "align/engine_detail.hpp"
+#include "align/override_triangle.hpp"
+
+namespace repro::align {
+namespace {
+
+class ScalarEngine final : public Engine {
+ public:
+  [[nodiscard]] std::string name() const override { return "scalar"; }
+  [[nodiscard]] int lanes() const override { return 1; }
+
+  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+    detail::validate_job(job, out, lanes());
+    const auto& seq = job.seq;
+    const int m = static_cast<int>(seq.size());
+    const int r = job.r0;
+    const int rows = r;       // prefix S[0..r)
+    const int cols = m - r;   // suffix S[r..m)
+    const seq::ScoreMatrix& ex = job.scoring->matrix;
+    const Score open = job.scoring->gap.open;
+    const Score ext = job.scoring->gap.extend;
+
+    h_.assign(static_cast<std::size_t>(cols) + 1, 0);
+    max_y_.assign(static_cast<std::size_t>(cols) + 1, kNegInf);
+
+    for (int y = 1; y <= rows; ++y) {
+      const int i = y - 1;  // global prefix position
+      const std::int16_t* erow = ex.row(seq[static_cast<std::size_t>(i)]);
+      const std::atomic<std::uint64_t>* obits =
+          (job.overrides != nullptr && !job.overrides->row_empty(i))
+              ? job.overrides->row_bits(i)
+              : nullptr;
+      Score diag = 0;  // M[y-1][x-1]; boundary column is all zeros
+      Score max_x = kNegInf;
+      for (int x = 1; x <= cols; ++x) {
+        const int j = r + x - 1;  // global suffix position
+        const Score up = h_[static_cast<std::size_t>(x)];
+        const Score inner = std::max({max_x, max_y_[static_cast<std::size_t>(x)], diag});
+        Score h = std::max(
+            Score{0}, erow[seq[static_cast<std::size_t>(j)]] + inner);
+        if (obits != nullptr && detail::override_bit(obits, i, j)) h = 0;
+        h_[static_cast<std::size_t>(x)] = h;
+        max_x = std::max(diag - open, max_x) - ext;
+        max_y_[static_cast<std::size_t>(x)] =
+            std::max(diag - open, max_y_[static_cast<std::size_t>(x)]) - ext;
+        diag = up;
+      }
+    }
+
+    std::copy(h_.begin() + 1, h_.end(), out[0].begin());
+    cells_ += static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+    aligns_ += 1;
+  }
+
+ private:
+  std::vector<Score> h_;
+  std::vector<Score> max_y_;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Engine> make_scalar_engine() {
+  return std::make_unique<ScalarEngine>();
+}
+}  // namespace detail
+
+}  // namespace repro::align

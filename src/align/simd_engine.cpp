@@ -1,0 +1,226 @@
+// SIMD engines (SSE2 8-lane and 4-lane, plus portable generic lanes) and the
+// engine factory / dispatch.
+//
+// The 4-lane engine models the paper's Pentium III SSE configuration (4 x
+// i16), the 8-lane engine its Pentium 4 SSE2 configuration (8 x i16); the
+// AVX2 16-lane engine (separate TU) is the natural successor. Generic-lane
+// engines run the identical kernel without intrinsics, both as a portable
+// fallback and as a cross-check in tests.
+#include "align/engine.hpp"
+
+#include <utility>
+
+#include "align/engine_detail.hpp"
+#include "align/simd_kernel.hpp"
+
+#if REPRO_HAVE_SSE2
+#include <emmintrin.h>
+#endif
+
+namespace repro::align {
+namespace detail {
+namespace {
+
+// Stripe default: row state is H + MaxY, and the paper dedicates a third of
+// L1D (32 KiB typical) to the row section.
+int default_stripe(int lanes, int elem_bytes) {
+  return 32768 / 3 / (2 * elem_bytes * lanes);
+}
+
+#if REPRO_HAVE_SSE2
+
+struct SseOps8 {
+  static constexpr int kLanes = 8;
+  using Elem = std::int16_t;
+  static constexpr bool kSaturating = true;
+  using Vec = __m128i;
+  static Vec zero() { return _mm_setzero_si128(); }
+  static Vec set1(std::int16_t x) { return _mm_set1_epi16(x); }
+  static Vec load(const std::int16_t* p) {
+    return _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(std::int16_t* p, Vec a) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), a);
+  }
+  static Vec max(Vec a, Vec b) { return _mm_max_epi16(a, b); }
+  static Vec adds(Vec a, Vec b) { return _mm_adds_epi16(a, b); }
+  static Vec subs(Vec a, Vec b) { return _mm_subs_epi16(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm_and_si128(a, b); }
+};
+
+/// Four i16 lanes in the low half of an XMM register — the paper's SSE
+/// (Pentium III) width. Loads zero the upper half; stores write 8 bytes.
+struct SseOps4 {
+  static constexpr int kLanes = 4;
+  using Elem = std::int16_t;
+  static constexpr bool kSaturating = true;
+  using Vec = __m128i;
+  static Vec zero() { return _mm_setzero_si128(); }
+  static Vec set1(std::int16_t x) { return _mm_set1_epi16(x); }
+  static Vec load(const std::int16_t* p) {
+    return _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(std::int16_t* p, Vec a) {
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(p), a);
+  }
+  static Vec max(Vec a, Vec b) { return _mm_max_epi16(a, b); }
+  static Vec adds(Vec a, Vec b) { return _mm_adds_epi16(a, b); }
+  static Vec subs(Vec a, Vec b) { return _mm_subs_epi16(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm_and_si128(a, b); }
+};
+
+#endif  // REPRO_HAVE_SSE2
+
+template <class Ops>
+class SimdEngineT final : public Engine {
+ public:
+  SimdEngineT(std::string name, int stripe_cols)
+      : name_(std::move(name)),
+        stripe_(stripe_cols == 0
+                    ? default_stripe(Ops::kLanes, sizeof(typename Ops::Elem))
+                    : stripe_cols) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] int lanes() const override { return Ops::kLanes; }
+
+  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+    validate_job(job, out, lanes());
+    run_simd_group<Ops>(job, out, stripe_, scratch_);
+    const int m = static_cast<int>(job.seq.size());
+    const int width = m - job.r0;
+    const int rows = job.r0 + job.count - 1;
+    cells_ += static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(width) *
+              static_cast<std::uint64_t>(Ops::kLanes);
+    aligns_ += 1;
+  }
+
+ private:
+  std::string name_;
+  int stripe_;
+  SimdScratchT<typename Ops::Elem> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_simd_engine(int lanes, int stripe_cols) {
+#if REPRO_HAVE_SSE2
+  if (lanes == 4)
+    return std::make_unique<SimdEngineT<SseOps4>>("simd4-sse2", stripe_cols);
+  if (lanes == 8)
+    return std::make_unique<SimdEngineT<SseOps8>>("simd8-sse2", stripe_cols);
+  REPRO_CHECK_MSG(false, "unsupported SSE2 lane count " << lanes);
+#else
+  (void)stripe_cols;
+  REPRO_CHECK_MSG(false, "SSE2 not available in this build (lanes=" << lanes
+                                                                    << ")");
+#endif
+  return nullptr;  // unreachable
+}
+
+std::unique_ptr<Engine> make_simd_generic_engine(int lanes, int stripe_cols) {
+  if (lanes == 4)
+    return std::make_unique<SimdEngineT<GenericOps<4>>>("simd4-generic",
+                                                        stripe_cols);
+  if (lanes == 8)
+    return std::make_unique<SimdEngineT<GenericOps<8>>>("simd8-generic",
+                                                        stripe_cols);
+  REPRO_CHECK_MSG(false, "unsupported generic lane count " << lanes);
+  return nullptr;  // unreachable
+}
+
+std::unique_ptr<Engine> make_simd32_generic_engine(int lanes, int stripe_cols) {
+  if (lanes == 4)
+    return std::make_unique<SimdEngineT<GenericOps32<4>>>("simd4x32-generic",
+                                                          stripe_cols);
+  REPRO_CHECK_MSG(false, "unsupported generic i32 lane count " << lanes);
+  return nullptr;  // unreachable
+}
+
+}  // namespace detail
+
+std::vector<Score> Engine::align_one(const GroupJob& job) {
+  REPRO_CHECK(job.count == 1);
+  const int m = static_cast<int>(job.seq.size());
+  std::vector<Score> row(static_cast<std::size_t>(m - job.r0));
+  std::span<Score> row_span(row);
+  align(job, std::span<const std::span<Score>>(&row_span, 1));
+  return row;
+}
+
+bool avx2_available() {
+#if REPRO_ENABLE_AVX2
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool sse41_available() {
+#if REPRO_HAVE_SSE2
+  return __builtin_cpu_supports("sse4.1") != 0;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, int stripe_cols) {
+  switch (kind) {
+    case EngineKind::kScalar:
+      return detail::make_scalar_engine();
+    case EngineKind::kScalarStriped:
+      return detail::make_scalar_striped_engine(stripe_cols);
+    case EngineKind::kGeneralGap:
+      return detail::make_general_gap_engine();
+    case EngineKind::kSimd4:
+      return detail::make_simd_engine(4, stripe_cols);
+    case EngineKind::kSimd8:
+      return detail::make_simd_engine(8, stripe_cols);
+    case EngineKind::kSimd16:
+#if REPRO_ENABLE_AVX2
+      REPRO_CHECK_MSG(avx2_available(), "AVX2 not supported by this CPU");
+      return detail::make_simd_avx2_engine(stripe_cols);
+#else
+      REPRO_CHECK_MSG(false, "AVX2 engine not built (REPRO_ENABLE_AVX2=OFF)");
+      return nullptr;
+#endif
+    case EngineKind::kSimd4Generic:
+      return detail::make_simd_generic_engine(4, stripe_cols);
+    case EngineKind::kSimd8Generic:
+      return detail::make_simd_generic_engine(8, stripe_cols);
+    case EngineKind::kSimd4x32:
+#if REPRO_HAVE_SSE2
+      REPRO_CHECK_MSG(sse41_available(), "SSE4.1 not supported by this CPU");
+      return detail::make_simd_sse41_engine(stripe_cols);
+#else
+      REPRO_CHECK_MSG(false, "SSE4.1 engine not built");
+      return nullptr;
+#endif
+    case EngineKind::kSimd8x32:
+#if REPRO_ENABLE_AVX2
+      REPRO_CHECK_MSG(avx2_available(), "AVX2 not supported by this CPU");
+      return detail::make_simd_avx2_32_engine(stripe_cols);
+#else
+      REPRO_CHECK_MSG(false, "AVX2 engine not built");
+      return nullptr;
+#endif
+    case EngineKind::kSimd4x32Generic:
+      return detail::make_simd32_generic_engine(4, stripe_cols);
+  }
+  REPRO_CHECK_MSG(false, "unknown engine kind");
+  return nullptr;  // unreachable
+}
+
+EngineFactory engine_factory(EngineKind kind, int stripe_cols) {
+  return [kind, stripe_cols] { return make_engine(kind, stripe_cols); };
+}
+
+std::unique_ptr<Engine> make_best_engine() {
+  if (avx2_available()) return make_engine(EngineKind::kSimd16);
+#if REPRO_HAVE_SSE2
+  return make_engine(EngineKind::kSimd8);
+#else
+  return make_engine(EngineKind::kSimd8Generic);
+#endif
+}
+
+}  // namespace repro::align

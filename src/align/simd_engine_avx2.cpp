@@ -1,0 +1,105 @@
+// AVX2 16-lane engine, compiled with -mavx2 in its own translation unit.
+// Dispatch happens in make_engine() behind a runtime CPU check.
+#include <immintrin.h>
+
+#include "align/engine.hpp"
+#include "align/engine_detail.hpp"
+#include "align/simd_kernel.hpp"
+
+namespace repro::align::detail {
+namespace {
+
+struct Avx2Ops16 {
+  static constexpr int kLanes = 16;
+  using Elem = std::int16_t;
+  static constexpr bool kSaturating = true;
+  using Vec = __m256i;
+  static Vec zero() { return _mm256_setzero_si256(); }
+  static Vec set1(std::int16_t x) { return _mm256_set1_epi16(x); }
+  static Vec load(const std::int16_t* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::int16_t* p, Vec a) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), a);
+  }
+  static Vec max(Vec a, Vec b) { return _mm256_max_epi16(a, b); }
+  static Vec adds(Vec a, Vec b) { return _mm256_adds_epi16(a, b); }
+  static Vec subs(Vec a, Vec b) { return _mm256_subs_epi16(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm256_and_si256(a, b); }
+};
+
+class Avx2Engine final : public Engine {
+ public:
+  explicit Avx2Engine(int stripe_cols)
+      : stripe_(stripe_cols == 0 ? 32768 / 3 / (4 * 16) : stripe_cols) {}
+
+  [[nodiscard]] std::string name() const override { return "simd16-avx2"; }
+  [[nodiscard]] int lanes() const override { return 16; }
+
+  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+    validate_job(job, out, lanes());
+    run_simd_group<Avx2Ops16>(job, out, stripe_, scratch_);
+    const int m = static_cast<int>(job.seq.size());
+    cells_ += static_cast<std::uint64_t>(job.r0 + job.count - 1) *
+              static_cast<std::uint64_t>(m - job.r0) * 16u;
+    aligns_ += 1;
+  }
+
+ private:
+  int stripe_;
+  SimdScratch scratch_;
+};
+
+struct Avx2Ops8x32 {
+  static constexpr int kLanes = 8;
+  using Elem = Score;
+  static constexpr bool kSaturating = false;
+  using Vec = __m256i;
+  static Vec zero() { return _mm256_setzero_si256(); }
+  static Vec set1(Score x) { return _mm256_set1_epi32(x); }
+  static Vec load(const Score* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(Score* p, Vec a) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), a);
+  }
+  static Vec max(Vec a, Vec b) { return _mm256_max_epi32(a, b); }
+  static Vec adds(Vec a, Vec b) { return _mm256_add_epi32(a, b); }
+  static Vec subs(Vec a, Vec b) { return _mm256_sub_epi32(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm256_and_si256(a, b); }
+};
+
+/// 8 x i32 lanes: half the width of the i16 engine but no saturation limit.
+class Avx2Engine32 final : public Engine {
+ public:
+  explicit Avx2Engine32(int stripe_cols)
+      : stripe_(stripe_cols == 0 ? 32768 / 3 / (8 * 8) : stripe_cols) {}
+
+  [[nodiscard]] std::string name() const override { return "simd8x32-avx2"; }
+  [[nodiscard]] int lanes() const override { return 8; }
+
+  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+    validate_job(job, out, lanes());
+    run_simd_group<Avx2Ops8x32>(job, out, stripe_, scratch_);
+    const int m = static_cast<int>(job.seq.size());
+    cells_ += static_cast<std::uint64_t>(job.r0 + job.count - 1) *
+              static_cast<std::uint64_t>(m - job.r0) * 8u;
+    aligns_ += 1;
+  }
+
+ private:
+  int stripe_;
+  SimdScratchT<Score> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_simd_avx2_engine(int stripe_cols) {
+  return std::make_unique<Avx2Engine>(stripe_cols);
+}
+
+std::unique_ptr<Engine> make_simd_avx2_32_engine(int stripe_cols) {
+  return std::make_unique<Avx2Engine32>(stripe_cols);
+}
+
+}  // namespace repro::align::detail

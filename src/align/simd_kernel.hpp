@@ -1,0 +1,297 @@
+// Coarse-grained SIMD alignment kernel (paper §4.1, Figs. 6 & 7).
+//
+// One sweep computes `count` *neighbouring* rectangles — splits r0, r0+1,
+// ..., r0+count-1 — in up to L lanes of saturating i16 arithmetic:
+//
+//   * Columns are indexed by global suffix position j in [r0, m); lane k
+//     (split rk = r0+k) is valid for j >= rk, i.e. column c = j - r0 >= k.
+//     The first count-1 columns therefore carry per-lane masks; forcing
+//     H = 0 in a lane's invalid columns reproduces that lane's true left
+//     boundary exactly (local-alignment scores are clamped at zero, so the
+//     only contamination paths — gap maxima fed from masked cells — are
+//     strictly negative and never win). This is the paper's "corrections for
+//     the left and bottom borders".
+//   * Cell (row y, column j) aligns the pair (i, j) = (y-1, j) in *every*
+//     lane, so a single exchange-matrix lookup is broadcast to all lanes and
+//     a single override-triangle bit zeroes all lanes at once. In rows
+//     deeper than a lane's rectangle the pair degenerates to i >= j; those
+//     lane-cells are garbage that is never extracted, and the override test
+//     is skipped there (the triangle is a strict upper triangle).
+//   * Rows are swept to rows = r0+count-1; lane k's bottom row is extracted
+//     when y == rk.
+//   * Matrix state is interleaved in memory (Fig. 7): entry (c, k) lives at
+//     index c*L + k, so one aligned vector load fetches one column of all
+//     lanes.
+//   * Cache-aware striping (§4.1): columns are processed in stripes whose
+//     row state fits in L1; per-row (H, MaxX) carries flow across stripe
+//     boundaries.
+//   * Saturation safety: a running per-lane peak (masked so garbage
+//     lane-cells cannot contribute) detects any cell that hit the i16
+//     ceiling, even when the damage is not visible in the bottom row.
+//
+// The kernel is templated over an Ops policy (SSE2, AVX2, or a portable
+// scalar-lane fallback) providing saturating adds/subs, max, and masking.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "align/engine_detail.hpp"
+#include "align/override_triangle.hpp"
+#include "align/types.hpp"
+#include "util/aligned.hpp"
+
+namespace repro::align::detail {
+
+/// Portable lane ops; the compiler is free to auto-vectorize these loops
+/// (the paper's remark that vectorizing compilers can handle data-independent
+/// lanes). Also used to cross-check the intrinsic engines in tests.
+template <int W>
+struct GenericOps {
+  static constexpr int kLanes = W;
+  using Elem = std::int16_t;
+  static constexpr bool kSaturating = true;
+  struct Vec {
+    std::int16_t v[W];
+  };
+
+  static Vec zero() {
+    Vec r{};
+    return r;
+  }
+  static Vec set1(std::int16_t x) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = x;
+    return r;
+  }
+  static Vec load(const std::int16_t* p) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = p[k];
+    return r;
+  }
+  static void store(std::int16_t* p, Vec a) {
+    for (int k = 0; k < W; ++k) p[k] = a.v[k];
+  }
+  static Vec max(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = a.v[k] > b.v[k] ? a.v[k] : b.v[k];
+    return r;
+  }
+  static Vec adds(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) {
+      const int s = int{a.v[k]} + int{b.v[k]};
+      r.v[k] = static_cast<std::int16_t>(std::clamp(s, -32768, 32767));
+    }
+    return r;
+  }
+  static Vec subs(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) {
+      const int s = int{a.v[k]} - int{b.v[k]};
+      r.v[k] = static_cast<std::int16_t>(std::clamp(s, -32768, 32767));
+    }
+    return r;
+  }
+  static Vec and_(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k)
+      r.v[k] = static_cast<std::int16_t>(a.v[k] & b.v[k]);
+    return r;
+  }
+};
+
+/// Portable 32-bit lane ops: plain (non-saturating) arithmetic; scores are
+/// bounded well inside i32 so wrapping cannot occur (the max local-alignment
+/// score is max_exchange x min(rows, cols) < 2^24 at any realistic scale).
+template <int W>
+struct GenericOps32 {
+  static constexpr int kLanes = W;
+  using Elem = align::Score;
+  static constexpr bool kSaturating = false;
+  struct Vec {
+    align::Score v[W];
+  };
+
+  static Vec zero() {
+    Vec r{};
+    return r;
+  }
+  static Vec set1(align::Score x) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = x;
+    return r;
+  }
+  static Vec load(const align::Score* p) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = p[k];
+    return r;
+  }
+  static void store(align::Score* p, Vec a) {
+    for (int k = 0; k < W; ++k) p[k] = a.v[k];
+  }
+  static Vec max(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = a.v[k] > b.v[k] ? a.v[k] : b.v[k];
+    return r;
+  }
+  static Vec adds(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = a.v[k] + b.v[k];
+    return r;
+  }
+  static Vec subs(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = a.v[k] - b.v[k];
+    return r;
+  }
+  static Vec and_(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = a.v[k] & b.v[k];
+    return r;
+  }
+};
+
+/// Scratch buffers reused across group alignments (one instance per engine;
+/// engines are single-threaded by contract).
+template <typename Elem>
+struct SimdScratchT {
+  std::vector<Elem, util::AlignedAllocator<Elem>> h;
+  std::vector<Elem, util::AlignedAllocator<Elem>> max_y;
+  std::vector<Elem, util::AlignedAllocator<Elem>> carry_h;
+  std::vector<Elem, util::AlignedAllocator<Elem>> carry_mx;
+};
+
+using SimdScratch = SimdScratchT<std::int16_t>;
+
+/// "Minus infinity" for the element type (i16 lanes rely on saturation).
+template <typename Elem>
+constexpr Elem neg_inf_of() {
+  if constexpr (sizeof(Elem) == 2) {
+    return kNegInf16;
+  } else {
+    return kNegInf;
+  }
+}
+
+template <class Ops>
+void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
+                    int stripe_cols, SimdScratchT<typename Ops::Elem>& scratch) {
+  constexpr int L = Ops::kLanes;
+  using Vec = typename Ops::Vec;
+  using Elem = typename Ops::Elem;
+
+  const auto& seq = job.seq;
+  const int m = static_cast<int>(seq.size());
+  const int r0 = job.r0;
+  const int count = job.count;
+  const int width = m - r0;          // columns of the widest lane (lane 0)
+  const int rows = r0 + count - 1;   // rows of the deepest lane
+  const seq::ScoreMatrix& ex = job.scoring->matrix;
+  const Vec v_open = Ops::set1(static_cast<Elem>(job.scoring->gap.open));
+  const Vec v_ext = Ops::set1(static_cast<Elem>(job.scoring->gap.extend));
+  const Vec v_zero = Ops::zero();
+  const Vec v_neg = Ops::set1(neg_inf_of<Elem>());
+
+  // Mask tables, kept as aligned i16 so vectors of over-aligned register
+  // types never land in (insufficiently aligned) std::vector storage.
+  // colmask row c: lane k alive iff c >= k — masks the first count-1 columns.
+  // deepmask row t-1 (t = y - r0 >= 1): lane k alive iff k >= t — masks
+  // garbage lane-cells out of the saturation peak in the deepest rows.
+  alignas(64) Elem colmask[L * L];
+  alignas(64) Elem deepmask[L * L];
+  for (int c = 0; c + 1 < count; ++c)
+    for (int k = 0; k < L; ++k)
+      colmask[c * L + k] = static_cast<Elem>(c >= k ? -1 : 0);
+  for (int t = 1; t < count; ++t)
+    for (int k = 0; k < L; ++k)
+      deepmask[(t - 1) * L + k] = static_cast<Elem>(k >= t ? -1 : 0);
+
+  auto& h = scratch.h;
+  auto& max_y = scratch.max_y;
+  auto& carry_h = scratch.carry_h;
+  auto& carry_mx = scratch.carry_mx;
+  h.assign(static_cast<std::size_t>(width) * L, 0);
+  max_y.assign(static_cast<std::size_t>(width) * L, neg_inf_of<Elem>());
+
+  const int stripe = stripe_cols <= 0 ? width : stripe_cols;
+  const bool striped = stripe < width;
+  if (striped) {
+    carry_h.assign(static_cast<std::size_t>(rows + 1) * L, 0);
+    carry_mx.assign(static_cast<std::size_t>(rows + 1) * L, neg_inf_of<Elem>());
+  }
+
+  Vec v_peak = v_zero;  // running max of valid lane-cells (saturation guard)
+
+  for (int c0 = 0; c0 < width; c0 += stripe) {
+    const int c1 = std::min(width, c0 + stripe);
+    // Boundary row (y = 0) carry: H = 0, MaxX = -inf.
+    Vec old_carry_above = v_zero;
+    for (int y = 1; y <= rows; ++y) {
+      const int i = y - 1;
+      const std::int16_t* erow = ex.row(seq[static_cast<std::size_t>(i)]);
+      const std::atomic<std::uint64_t>* obits =
+          (job.overrides != nullptr && !job.overrides->row_empty(i))
+              ? job.overrides->row_bits(i)
+              : nullptr;
+      const int deep = y - r0;  // > 0 in the last count-1 rows
+      const bool mask_peak = deep > 0;
+      const Vec v_peak_mask =
+          mask_peak ? Ops::load(deepmask + (deep - 1) * L) : v_zero;
+      Vec v_diag = c0 == 0 ? v_zero : old_carry_above;
+      Vec v_mx = c0 == 0
+                     ? v_neg
+                     : Ops::load(carry_mx.data() + static_cast<std::size_t>(y) * L);
+      for (int c = c0; c < c1; ++c) {
+        const int j = r0 + c;
+        Elem* hp = h.data() + static_cast<std::size_t>(c) * L;
+        Elem* myp = max_y.data() + static_cast<std::size_t>(c) * L;
+        const Vec v_up = Ops::load(hp);
+        const Vec v_my = Ops::load(myp);
+        const Vec v_inner = Ops::max(v_mx, Ops::max(v_my, v_diag));
+        const Vec v_e = Ops::set1(erow[seq[static_cast<std::size_t>(j)]]);
+        Vec v_h = Ops::max(v_zero, Ops::adds(v_e, v_inner));
+        // Deep rows contain lane-cells with i >= j; the strict upper
+        // triangle has no bit for those, so the test is guarded.
+        if (obits != nullptr && j > i && override_bit(obits, i, j))
+          v_h = v_zero;
+        if (c < count - 1) v_h = Ops::and_(v_h, Ops::load(colmask + c * L));
+        v_peak =
+            Ops::max(v_peak, mask_peak ? Ops::and_(v_h, v_peak_mask) : v_h);
+        Ops::store(hp, v_h);
+        const Vec v_gap_start = Ops::subs(v_diag, v_open);
+        v_mx = Ops::subs(Ops::max(v_gap_start, v_mx), v_ext);
+        Ops::store(myp, Ops::subs(Ops::max(v_gap_start, v_my), v_ext));
+        v_diag = v_up;
+      }
+      if (striped) {
+        old_carry_above =
+            Ops::load(carry_h.data() + static_cast<std::size_t>(y) * L);
+        Ops::store(carry_h.data() + static_cast<std::size_t>(y) * L,
+                   Ops::load(h.data() + static_cast<std::size_t>(c1 - 1) * L));
+        Ops::store(carry_mx.data() + static_cast<std::size_t>(y) * L, v_mx);
+      }
+      // Extract lane k's bottom row when this is its last row.
+      const int k = y - r0;
+      if (k >= 0 && k < count) {
+        auto row_out = out[static_cast<std::size_t>(k)];
+        for (int c = std::max(c0, k); c < c1; ++c)
+          row_out[static_cast<std::size_t>(c - k)] = static_cast<Score>(
+              h[static_cast<std::size_t>(c) * L + static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+
+  if constexpr (Ops::kSaturating) {
+    alignas(64) Elem peakbuf[L];
+    Ops::store(peakbuf, v_peak);
+    for (int k = 0; k < count; ++k)
+      REPRO_CHECK_MSG(peakbuf[k] != std::numeric_limits<Elem>::max(),
+                      "i16 SIMD lane saturated (split r=" << r0 + k
+                          << "); use a 32-bit engine for this input");
+  }
+}
+
+}  // namespace repro::align::detail

@@ -1,0 +1,76 @@
+#include "align/sparse_override.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace repro::align {
+
+namespace {
+constexpr std::size_t kTailLimit = 1024;
+}
+
+SparseOverrideSet::SparseOverrideSet(int m) : m_(m) {
+  REPRO_CHECK(m >= 2);
+}
+
+std::uint64_t SparseOverrideSet::pack(int i, int j) const {
+  REPRO_CHECK(0 <= i && i < j && j < m_);
+  return (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint32_t>(j);
+}
+
+void SparseOverrideSet::merge_tail() const {
+  if (tail_.empty()) return;
+  std::sort(tail_.begin(), tail_.end());
+  std::vector<std::uint64_t> merged;
+  merged.reserve(pairs_.size() + tail_.size());
+  std::merge(pairs_.begin(), pairs_.end(), tail_.begin(), tail_.end(),
+             std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  pairs_ = std::move(merged);
+  tail_.clear();
+}
+
+void SparseOverrideSet::set(int i, int j) {
+  const std::uint64_t key = pack(i, j);
+  if (contains(i, j)) return;
+  tail_.push_back(key);
+  if (tail_.size() >= kTailLimit) merge_tail();
+}
+
+bool SparseOverrideSet::contains(int i, int j) const {
+  const std::uint64_t key = pack(i, j);
+  if (std::binary_search(pairs_.begin(), pairs_.end(), key)) return true;
+  return std::find(tail_.begin(), tail_.end(), key) != tail_.end();
+}
+
+void SparseOverrideSet::add_all(const OverrideTriangle& dense) {
+  REPRO_CHECK(dense.sequence_length() == m_);
+  merge_tail();
+  for (int i = 0; i < m_ - 1; ++i) {
+    if (dense.row_empty(i)) continue;
+    for (int j = i + 1; j < m_; ++j)
+      if (dense.contains(i, j)) set(i, j);
+  }
+  merge_tail();
+}
+
+void SparseOverrideSet::expand_into(OverrideTriangle& dense) const {
+  REPRO_CHECK(dense.sequence_length() == m_);
+  merge_tail();
+  for (const std::uint64_t key : pairs_)
+    dense.set(static_cast<int>(key >> 32),
+              static_cast<int>(key & 0xffffffffu));
+}
+
+std::vector<std::pair<int, int>> SparseOverrideSet::pairs() const {
+  merge_tail();
+  std::vector<std::pair<int, int>> out;
+  out.reserve(pairs_.size());
+  for (const std::uint64_t key : pairs_)
+    out.emplace_back(static_cast<int>(key >> 32),
+                     static_cast<int>(key & 0xffffffffu));
+  return out;
+}
+
+}  // namespace repro::align

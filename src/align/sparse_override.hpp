@@ -1,0 +1,65 @@
+// Compressed override-pair storage (paper §3: "Since the triangle is
+// sparse, it can be compressed if memory usage is an issue").
+//
+// The dense OverrideTriangle spends m(m-1)/2 bits regardless of content;
+// after T top alignments only O(T · alignment_length) pairs are set —
+// typically a vanishing fraction. SparseOverrideSet stores exactly the set
+// pairs (8 bytes each, sorted, binary-searched), which wins below a set
+// density of ~1/64 — always the case in practice. The alignment kernels
+// keep using the dense triangle (O(1) word probes in the hot loop); the
+// sparse form serves the memory-constrained sides the paper discusses:
+// checkpointing, shipping triangle state between ranks, and regimes where
+// the dense bits no longer fit (m ~ 10^5: 625 MB dense vs a few MB sparse).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/override_triangle.hpp"
+
+namespace repro::align {
+
+class SparseOverrideSet {
+ public:
+  explicit SparseOverrideSet(int m);
+
+  [[nodiscard]] int sequence_length() const { return m_; }
+  [[nodiscard]] std::int64_t count() const {
+    // set() never adds a key twice, so the tail holds only new pairs.
+    return static_cast<std::int64_t>(pairs_.size() + tail_.size());
+  }
+
+  /// Marks pair (i, j); idempotent. Amortised O(log n) via a sorted main
+  /// array plus a small unsorted tail that is merged when it grows.
+  void set(int i, int j);
+
+  [[nodiscard]] bool contains(int i, int j) const;
+
+  /// Bulk import/export with the dense representation.
+  void add_all(const OverrideTriangle& dense);
+  void expand_into(OverrideTriangle& dense) const;
+
+  /// All pairs, sorted by (i, j).
+  [[nodiscard]] std::vector<std::pair<int, int>> pairs() const;
+
+  /// Bytes held — compare with the dense triangle's m(m-1)/16.
+  [[nodiscard]] std::size_t bytes() const {
+    return (pairs_.capacity() + tail_.capacity()) * sizeof(std::uint64_t);
+  }
+
+  [[nodiscard]] static std::size_t dense_bytes(int m) {
+    return static_cast<std::size_t>(m) * (static_cast<std::size_t>(m) - 1) / 16;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t pack(int i, int j) const;
+  void merge_tail() const;
+
+  int m_;
+  // Sorted unique packed pairs + unsorted recent tail (mutable: contains()
+  // merges lazily; logical state is unaffected).
+  mutable std::vector<std::uint64_t> pairs_;
+  mutable std::vector<std::uint64_t> tail_;
+};
+
+}  // namespace repro::align

@@ -1,0 +1,110 @@
+// Cache-aware scalar kernel (§4.1 of the paper): the matrix is computed in
+// vertical stripes whose row-state (previous row + MaxY) fits in L1, at the
+// cost of carrying per-row (H, MaxX) values across stripe boundaries.
+#include <algorithm>
+#include <vector>
+
+#include "align/engine_detail.hpp"
+#include "align/override_triangle.hpp"
+
+namespace repro::align {
+namespace {
+
+// Default stripe width: a third of a typical 32 KiB L1D for row state
+// (H + MaxY, 8 bytes per column), mirroring the paper's "a third for the row
+// section, a third for MaxY, a third for miscellaneous".
+constexpr int kDefaultStripeCols = 1344;
+
+class ScalarStripedEngine final : public Engine {
+ public:
+  explicit ScalarStripedEngine(int stripe_cols)
+      : stripe_cols_(stripe_cols == 0 ? kDefaultStripeCols : stripe_cols) {
+    REPRO_CHECK_MSG(stripe_cols_ > 0 || stripe_cols_ == -1,
+                    "invalid stripe width " << stripe_cols_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "scalar-striped"; }
+  [[nodiscard]] int lanes() const override { return 1; }
+
+  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+    detail::validate_job(job, out, lanes());
+    const auto& seq = job.seq;
+    const int m = static_cast<int>(seq.size());
+    const int r = job.r0;
+    const int rows = r;
+    const int cols = m - r;
+    const seq::ScoreMatrix& ex = job.scoring->matrix;
+    const Score open = job.scoring->gap.open;
+    const Score ext = job.scoring->gap.extend;
+    const int stripe = stripe_cols_ == -1 ? cols : stripe_cols_;
+
+    // Carries across stripe boundaries, indexed by row: H at the stripe's
+    // last column and the running MaxX leaving the stripe.
+    carry_h_.assign(static_cast<std::size_t>(rows) + 1, 0);
+    carry_mx_.assign(static_cast<std::size_t>(rows) + 1, kNegInf);
+
+    h_.assign(static_cast<std::size_t>(stripe) + 1, 0);
+    max_y_.assign(static_cast<std::size_t>(stripe) + 1, kNegInf);
+
+    for (int x0 = 1; x0 <= cols; x0 += stripe) {
+      const int x1 = std::min(cols, x0 + stripe - 1);
+      std::fill(h_.begin(), h_.end(), 0);
+      std::fill(max_y_.begin(), max_y_.end(), kNegInf);
+      // carry of the boundary row y=0 is all-zero H, -inf MaxX.
+      Score old_carry_above = 0;
+      for (int y = 1; y <= rows; ++y) {
+        const int i = y - 1;
+        const std::int16_t* erow = ex.row(seq[static_cast<std::size_t>(i)]);
+        const std::atomic<std::uint64_t>* obits =
+            (job.overrides != nullptr && !job.overrides->row_empty(i))
+                ? job.overrides->row_bits(i)
+                : nullptr;
+        // Entering this stripe: diag = M[y-1][x0-1], MaxX as it left the
+        // previous stripe on *this* row.
+        Score diag = x0 == 1 ? 0 : old_carry_above;
+        Score max_x = x0 == 1 ? kNegInf
+                              : carry_mx_[static_cast<std::size_t>(y)];
+        for (int x = x0; x <= x1; ++x) {
+          const int xi = x - x0 + 1;  // stripe-local column
+          const int j = r + x - 1;
+          const Score up = h_[static_cast<std::size_t>(xi)];
+          const Score inner =
+              std::max({max_x, max_y_[static_cast<std::size_t>(xi)], diag});
+          Score h = std::max(Score{0},
+                             erow[seq[static_cast<std::size_t>(j)]] + inner);
+          if (obits != nullptr && detail::override_bit(obits, i, j)) h = 0;
+          h_[static_cast<std::size_t>(xi)] = h;
+          max_x = std::max(diag - open, max_x) - ext;
+          max_y_[static_cast<std::size_t>(xi)] =
+              std::max(diag - open, max_y_[static_cast<std::size_t>(xi)]) - ext;
+          diag = up;
+          if (y == rows) out[0][static_cast<std::size_t>(x - 1)] = h;
+        }
+        old_carry_above = carry_h_[static_cast<std::size_t>(y)];
+        carry_h_[static_cast<std::size_t>(y)] =
+            h_[static_cast<std::size_t>(x1 - x0 + 1)];
+        carry_mx_[static_cast<std::size_t>(y)] = max_x;
+      }
+    }
+
+    cells_ += static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+    aligns_ += 1;
+  }
+
+ private:
+  int stripe_cols_;
+  std::vector<Score> h_;
+  std::vector<Score> max_y_;
+  std::vector<Score> carry_h_;
+  std::vector<Score> carry_mx_;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Engine> make_scalar_striped_engine(int stripe_cols) {
+  return std::make_unique<ScalarStripedEngine>(stripe_cols);
+}
+}  // namespace detail
+
+}  // namespace repro::align

@@ -1,0 +1,64 @@
+// Full-matrix traceback for accepted top alignments.
+//
+// Score-only kernels keep one row; when a rectangle is *accepted* as a top
+// alignment the finder recomputes its full matrix under the current override
+// triangle and walks the best valid bottom-row cell back to reconstruct the
+// aligned pairs (which then feed the override triangle). The paper notes
+// this step runs sequentially and is comparatively slow; it happens once per
+// top alignment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "align/types.hpp"
+
+namespace repro::align {
+
+/// Best end cell of a bottom row under shadow rejection (Appendix A): a cell
+/// is valid iff its realigned value equals the stored first-alignment value;
+/// an empty `original` marks every cell valid. Ties break to the smallest x.
+struct BestEnd {
+  Score score = 0;
+  int end_x = 0;  ///< 1-based bottom-row column; 0 when no valid cell exists
+};
+
+BestEnd find_best_end(std::span<const Score> row,
+                      std::span<const std::int16_t> original);
+
+/// Overload for freshly recomputed (32-bit) original rows — the Appendix-A
+/// low-memory mode recomputes originals on demand instead of archiving them.
+BestEnd find_best_end(std::span<const Score> row,
+                      std::span<const Score> original);
+
+/// No validity filter (every cell is a legal end).
+BestEnd find_best_end(std::span<const Score> row);
+
+/// A reconstructed local alignment of rectangle r.
+struct Traceback {
+  int r = 0;
+  Score score = 0;
+  int end_x = 0;  ///< 1-based bottom-row column the walk started from
+  /// Aligned residue pairs as global positions (i, j), ascending in both
+  /// components. Every cell on the path aligns exactly one pair (gaps skip
+  /// positions between consecutive pairs).
+  std::vector<std::pair<int, int>> pairs;
+};
+
+/// Recomputes rectangle job.r0's full matrix under job.overrides, selects
+/// the best valid end cell (see find_best_end) and walks it back.
+/// Deterministic move preference at equal score: diagonal, then the shortest
+/// horizontal gap, then the shortest vertical gap.
+/// Requires job.count == 1 and a positive best valid score.
+Traceback traceback_best(const GroupJob& job,
+                         std::span<const std::int16_t> original);
+
+/// Overload for recomputed 32-bit original rows (low-memory mode).
+Traceback traceback_best(const GroupJob& job, std::span<const Score> original);
+
+/// No validity filter.
+Traceback traceback_best(const GroupJob& job);
+
+}  // namespace repro::align

@@ -1,0 +1,46 @@
+// Shared types and indexing conventions of the alignment layer.
+//
+// Top-alignment geometry (paper §2.2 / §3), in 0-based terms used throughout
+// this codebase:
+//
+//   * A sequence S of length m has m-1 split points r in [1, m-1].
+//   * Rectangle r locally aligns prefix S[0..r) (vertical, rows y = 1..r)
+//     against suffix S[r..m) (horizontal, columns x = 1..m-r).
+//   * Cell (y, x) aligns the residue pair with global positions
+//     (i, j) = (y-1, r+x-1); i < j always holds, so pair bookkeeping (the
+//     override triangle) is a strict upper triangle over global positions.
+//   * Local alignments of rectangle r always end in its bottom row y = r
+//     (Appendix A), so score-only kernels output exactly that row.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "seq/scoring.hpp"
+
+namespace repro::align {
+
+/// Alignment scores. Kernels may compute in saturating i16 lanes (like the
+/// paper's SSE/SSE2 code); results are widened to Score at the API boundary.
+using Score = std::int32_t;
+
+/// "Minus infinity" for running gap maxima; chosen so that subtracting any
+/// realistic penalty chain cannot underflow i32.
+inline constexpr Score kNegInf = -(1 << 28);
+
+/// Saturating-i16 lanes use this floor; subs_epi16 keeps values >= -32768.
+inline constexpr std::int16_t kNegInf16 = -30000;
+
+class OverrideTriangle;
+
+/// One group of consecutive rectangles to align score-only. Engines with L
+/// lanes accept count in [1, L]; scalar engines accept count == 1.
+struct GroupJob {
+  std::span<const std::uint8_t> seq;     ///< full sequence codes (length m)
+  const seq::Scoring* scoring = nullptr; ///< exchange matrix + gap penalties
+  const OverrideTriangle* overrides = nullptr;  ///< nullptr = empty triangle
+  int r0 = 1;     ///< first split of the group
+  int count = 1;  ///< number of consecutive splits r0, r0+1, ...
+};
+
+}  // namespace repro::align

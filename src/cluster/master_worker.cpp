@@ -1,0 +1,531 @@
+#include "cluster/master_worker.hpp"
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "align/bottom_row_store.hpp"
+#include "align/override_triangle.hpp"
+#include "align/traceback.hpp"
+#include "cluster/mpisim.hpp"
+#include "core/task_queue.hpp"
+#include "core/top_alignment_finder.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace repro::cluster {
+namespace {
+
+using core::GroupTask;
+using core::TaskKey;
+
+enum Tag : int {
+  kReqWork = 1,  // W->M: initial hello
+  kAssign,       // M->W: [r0, count, version]
+  kResult,       // W->M: [r0, count, version, scores...; rows... when
+                 //        version==0 in replica mode]
+  kRowRequest,   // any->owner: [r]  (owner = master in replica mode)
+  kRowReply,     // owner->any: [r, row values...]
+  kRowDeposit,   // W->owner W: [r, row values...]  (partitioned mode, v0)
+  kUpdate,       // M->W: [new_version, npairs, i0, j0, i1, j1, ...]
+  kShutdown,     // M->W: []
+};
+
+struct KeyCmp {
+  bool operator()(const TaskKey& a, const TaskKey& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.r < b.r;
+  }
+};
+
+/// Owner rank of row r under partitioned storage.
+int owner_of(int r, int ranks) { return 1 + (r % (ranks - 1)); }
+
+Message make_row_message(int tag, int r, std::span<const std::int16_t> row) {
+  Message msg;
+  msg.tag = tag;
+  msg.data.reserve(row.size() + 1);
+  msg.data.push_back(r);
+  for (std::int16_t v : row) msg.data.push_back(v);
+  return msg;
+}
+
+std::vector<std::int16_t> row_from_message(const Message& msg) {
+  std::vector<std::int16_t> row(msg.data.size() - 1);
+  for (std::size_t x = 1; x < msg.data.size(); ++x)
+    row[x - 1] = static_cast<std::int16_t>(msg.data[x]);
+  return row;
+}
+
+/// Master (rank 0): task queue, acceptance + traceback; in replica mode
+/// also the bottom-row archive.
+class Master {
+ public:
+  Master(Comm& comm, const seq::Sequence& s, const seq::Scoring& scoring,
+         const ClusterOptions& options, int lanes)
+      : comm_(comm),
+        s_(s),
+        scoring_(scoring),
+        options_(options),
+        triangle_(s.length()),
+        lanes_(lanes),
+        groups_(core::make_groups(s.length(), lanes)) {
+    if (options.row_storage == RowStorage::kMasterReplica)
+      rows_.emplace(s.length());
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+      queue_.push(static_cast<int>(gi), groups_[gi].key());
+      group_of_r0_[groups_[gi].r0] = static_cast<int>(gi);
+    }
+  }
+
+  core::FinderResult run(ClusterRunInfo* info) {
+    util::WallTimer timer;
+    const int workers = comm_.size() - 1;
+    bool done = false;
+    while (!done) {
+      done = try_accept();
+      if (!done) {
+        assign_idle();
+        const bool all_idle = static_cast<int>(idle_.size()) == workers;
+        if (inflight_.empty() && all_idle) {
+          // Nothing running and nothing assignable: with an up-to-date,
+          // unblocked head try_accept would have progressed — exhausted.
+          done = true;
+        }
+      }
+      if (done) break;
+      auto [src, msg] = comm_.recv_any(0);
+      handle(src, msg);
+    }
+    comm_.broadcast(0, {kShutdown, {}});
+
+    core::FinderResult res;
+    res.tops = std::move(tops_);
+    res.stats = stats_;
+    res.stats.seconds = timer.seconds();
+    if (info != nullptr) {
+      info->messages = comm_.messages_sent();
+      info->payload_words = comm_.words_sent();
+      info->row_replicas_served = replicas_served_;
+      info->row_deposits = deposits_;
+    }
+    return res;
+  }
+
+ private:
+  int version() const { return static_cast<int>(tops_.size()); }
+
+  bool group_stale(int gi) const {
+    const GroupTask& g = groups_[static_cast<std::size_t>(gi)];
+    return g.version[static_cast<std::size_t>(g.best_member())] != version();
+  }
+
+  /// Blocks until the owner's reply for row r arrives, servicing every other
+  /// message normally in the meantime (results keep flowing during the
+  /// master's fetch — only acceptance is on hold).
+  std::vector<std::int16_t> await_row(int r) {
+    for (;;) {
+      auto [src, msg] = comm_.recv_any(0);
+      if (msg.tag == kRowReply && msg.data.at(0) == r) return row_from_message(msg);
+      handle(src, msg);
+    }
+  }
+
+  /// Original bottom row of r for the acceptance traceback.
+  std::span<const std::int16_t> original_row(int r) {
+    if (rows_.has_value()) return rows_->row(r);
+    const auto it = fetched_.find(r);
+    if (it != fetched_.end()) return it->second;
+    comm_.send(0, owner_of(r, comm_.size()), {kRowRequest, {r}});
+    return fetched_.emplace(r, await_row(r)).first->second;
+  }
+
+  /// Accepts as long as the deterministic guard allows; returns true when
+  /// the search is complete.
+  bool try_accept() {
+    for (;;) {
+      if (static_cast<int>(tops_.size()) >= options_.finder.num_top_alignments)
+        return true;
+      const auto head = queue_.peek();
+      if (!head || group_stale(head->second)) return false;
+      if (!inflight_.empty() && KeyCmp{}(*inflight_.begin(), head->first))
+        return false;  // an in-flight bound could still order before the head
+      if (head->first.score < options_.finder.min_score) return true;
+
+      // Fetching the original row may process further results; re-validate
+      // the head afterwards (its key cannot have *improved*, but an
+      // in-flight bound may have landed above it).
+      const GroupTask& head_group = groups_[static_cast<std::size_t>(head->second)];
+      const int b = head_group.best_member();
+      const int r = head_group.r0 + b;
+      const std::span<const std::int16_t> original = original_row(r);
+      const auto head2 = queue_.peek();
+      if (!head2 || head2->second != head->second || group_stale(head2->second))
+        continue;
+      if (!inflight_.empty() && KeyCmp{}(*inflight_.begin(), head2->first))
+        return false;
+
+      const auto popped = queue_.pop_best();
+      REPRO_CHECK(popped && *popped == head->second);
+      GroupTask& g = groups_[static_cast<std::size_t>(*popped)];
+      core::TopAlignment top =
+          core::accept_alignment(s_, scoring_, triangle_, original, r,
+                                 g.score[static_cast<std::size_t>(b)]);
+      // Broadcast the triangle growth before any assign can reference the
+      // new version (per-channel FIFO makes the ordering safe).
+      Message update;
+      update.tag = kUpdate;
+      update.data.push_back(version() + 1);
+      update.data.push_back(static_cast<std::int32_t>(top.pairs.size()));
+      for (const auto& [i, j] : top.pairs) {
+        update.data.push_back(i);
+        update.data.push_back(j);
+      }
+      comm_.broadcast(0, update);
+      tops_.push_back(std::move(top));
+      ++stats_.tracebacks;
+      queue_.push(*popped, g.key());
+    }
+  }
+
+  void assign_idle() {
+    while (!idle_.empty()) {
+      const auto gi = queue_.pop_best_if([this](int g) { return group_stale(g); });
+      if (!gi) break;
+      const int w = idle_.back();
+      idle_.pop_back();
+      GroupTask& g = groups_[static_cast<std::size_t>(*gi)];
+      inflight_.insert(g.key());
+      assigned_version_[g.r0] = version();
+      comm_.send(0, w, {kAssign, {g.r0, g.count, version()}});
+    }
+  }
+
+  void handle(int src, const Message& msg) {
+    switch (msg.tag) {
+      case kReqWork:
+        idle_.push_back(src);
+        break;
+      case kRowRequest: {
+        REPRO_CHECK_MSG(rows_.has_value(),
+                        "row request reached the master in partitioned mode");
+        const int r = msg.data.at(0);
+        comm_.send(0, src, make_row_message(kRowReply, r, rows_->row(r)));
+        ++replicas_served_;
+        break;
+      }
+      case kResult:
+        apply_result(src, msg);
+        break;
+      default:
+        REPRO_CHECK_MSG(false, "master received unexpected tag " << msg.tag);
+    }
+  }
+
+  void apply_result(int src, const Message& msg) {
+    const int r0 = msg.data.at(0);
+    const int count = msg.data.at(1);
+    const int v = msg.data.at(2);
+    const auto it = group_of_r0_.find(r0);
+    REPRO_CHECK(it != group_of_r0_.end());
+    GroupTask& g = groups_[static_cast<std::size_t>(it->second)];
+    REPRO_CHECK(g.count == count);
+    REPRO_CHECK_MSG(assigned_version_.at(r0) == v, "result version mismatch");
+
+    const TaskKey bound = g.key();
+    const auto inflight_it = inflight_.find(bound);
+    REPRO_CHECK(inflight_it != inflight_.end());
+    inflight_.erase(inflight_it);
+
+    std::size_t cursor = 3 + static_cast<std::size_t>(count);
+    for (int k = 0; k < count; ++k) {
+      const int r = r0 + k;
+      auto& member_version = g.version[static_cast<std::size_t>(k)];
+      if (member_version == -1) {
+        REPRO_CHECK(v == 0);
+        ++stats_.first_alignments;
+        if (rows_.has_value()) {
+          // Replica mode: the worker appended the bottom row for archival.
+          const auto len = static_cast<std::size_t>(s_.length() - r);
+          std::vector<align::Score> row(
+              msg.data.begin() + static_cast<std::ptrdiff_t>(cursor),
+              msg.data.begin() + static_cast<std::ptrdiff_t>(cursor + len));
+          cursor += len;
+          rows_->store(r, row);
+        } else {
+          ++deposits_;  // the worker deposited it with the row's owner
+        }
+      } else if (member_version == v) {
+        ++stats_.speculative;
+      } else {
+        ++stats_.realignments;
+      }
+      g.score[static_cast<std::size_t>(k)] = msg.data.at(3 + static_cast<std::size_t>(k));
+      member_version = v;
+    }
+    REPRO_CHECK(cursor == msg.data.size());
+    // Mirror the engines' accounting: lanes x rows x columns per group.
+    stats_.cells += static_cast<std::uint64_t>(g.r0 + g.count - 1) *
+                    static_cast<std::uint64_t>(s_.length() - g.r0) *
+                    static_cast<std::uint64_t>(lanes_);
+    ++stats_.queue_pops;
+    queue_.push(it->second, g.key());
+    idle_.push_back(src);
+  }
+
+  Comm& comm_;
+  const seq::Sequence& s_;
+  const seq::Scoring& scoring_;
+  const ClusterOptions& options_;
+  align::OverrideTriangle triangle_;
+  std::optional<align::BottomRowStore> rows_;  // replica mode only
+  std::unordered_map<int, std::vector<std::int16_t>> fetched_;  // partitioned
+  int lanes_;
+  std::vector<GroupTask> groups_;
+  core::GroupQueue queue_;
+  std::unordered_map<int, int> group_of_r0_;
+  std::unordered_map<int, int> assigned_version_;
+  std::multiset<TaskKey, KeyCmp> inflight_;
+  std::vector<int> idle_;
+  std::vector<core::TopAlignment> tops_;
+  core::FinderStats stats_;
+  std::uint64_t replicas_served_ = 0;
+  std::uint64_t deposits_ = 0;
+};
+
+/// Raised inside a worker when the master shuts the run down while the
+/// worker is blocked on a row-replica reply (its in-flight result is no
+/// longer needed — the search already completed).
+struct ShutdownSignal {};
+
+/// Worker rank: private engine, replicated triangle, cached original rows;
+/// under partitioned storage also the owner of every row r with
+/// owner_of(r) == rank.
+class Worker {
+ public:
+  Worker(Comm& comm, int rank, const seq::Sequence& s,
+         const seq::Scoring& scoring, const ClusterOptions& options,
+         align::Engine& engine)
+      : comm_(comm),
+        rank_(rank),
+        s_(s),
+        scoring_(scoring),
+        options_(options),
+        engine_(engine),
+        triangle_(s.length()) {}
+
+  void run() {
+    comm_.send(rank_, 0, {kReqWork, {}});
+    try {
+      for (;;) {
+        auto [src, msg] = comm_.recv_any(rank_);
+        if (!dispatch(src, msg)) return;
+      }
+    } catch (const ShutdownSignal&) {
+      // master completed the search mid-task
+    }
+  }
+
+ private:
+  bool partitioned() const {
+    return options_.row_storage == RowStorage::kPartitioned;
+  }
+
+  /// Handles one message; returns false on shutdown.
+  bool dispatch(int src, const Message& msg) {
+    switch (msg.tag) {
+      case kShutdown:
+        return false;
+      case kUpdate:
+        apply_update(msg);
+        return true;
+      case kAssign:
+        handle_assign(msg);
+        return true;
+      case kRowRequest:
+        serve_row(src, msg.data.at(0));
+        return true;
+      case kRowDeposit:
+        owned_rows_.emplace(msg.data.at(0), row_from_message(msg));
+        return true;
+      default:
+        REPRO_CHECK_MSG(false, "worker " << rank_ << " got unexpected tag "
+                                         << msg.tag << " from " << src);
+        return false;
+    }
+  }
+
+  void apply_update(const Message& msg) {
+    const int new_version = msg.data.at(0);
+    const int npairs = msg.data.at(1);
+    REPRO_CHECK(new_version == version_ + 1);
+    for (int p = 0; p < npairs; ++p)
+      triangle_.set(msg.data.at(2 + 2 * static_cast<std::size_t>(p)),
+                    msg.data.at(3 + 2 * static_cast<std::size_t>(p)));
+    version_ = new_version;
+  }
+
+  void serve_row(int src, int r) {
+    REPRO_CHECK_MSG(partitioned(), "replica mode has no worker-owned rows");
+    const auto it = owned_rows_.find(r);
+    REPRO_CHECK_MSG(it != owned_rows_.end(),
+                    "rank " << rank_ << " asked for unowned/undeposited row "
+                            << r);
+    comm_.send(rank_, src, make_row_message(kRowReply, r, it->second));
+  }
+
+  /// Original bottom row of r, from the local cache, own partition, or the
+  /// row's owner (master in replica mode, a peer worker in partitioned
+  /// mode). While blocked on the reply the worker keeps servicing peer
+  /// requests and deposits — otherwise two waiting owners would deadlock.
+  const std::vector<std::int16_t>& original_row(int r) {
+    if (const auto it = row_cache_.find(r); it != row_cache_.end())
+      return it->second;
+    if (partitioned()) {
+      if (const auto it = owned_rows_.find(r); it != owned_rows_.end())
+        return it->second;
+    }
+    const int owner = partitioned() ? owner_of(r, comm_.size()) : 0;
+    comm_.send(rank_, owner, {kRowRequest, {r}});
+    for (;;) {
+      auto [src, msg] = comm_.recv_any(rank_);
+      if (msg.tag == kRowReply) {
+        REPRO_CHECK(msg.data.at(0) == r);
+        return row_cache_.emplace(r, row_from_message(msg)).first->second;
+      }
+      if (msg.tag == kShutdown) throw ShutdownSignal{};
+      // Updates may overtake the reply (they only affect future assigns);
+      // peer row requests and deposits must be serviced to avoid deadlock.
+      REPRO_CHECK(msg.tag != kAssign);  // we are not idle
+      dispatch(src, msg);
+    }
+  }
+
+  void handle_assign(const Message& assign) {
+    const int r0 = assign.data.at(0);
+    const int count = assign.data.at(1);
+    const int v = assign.data.at(2);
+    REPRO_CHECK_MSG(v == version_, "assign version " << v
+                                                     << " != replica version "
+                                                     << version_);
+    const int m = s_.length();
+
+    align::GroupJob job;
+    job.seq = s_.codes();
+    job.scoring = &scoring_;
+    job.overrides = v == 0 ? nullptr : &triangle_;
+    job.r0 = r0;
+    job.count = count;
+    out_rows_.resize(static_cast<std::size_t>(count));
+    std::vector<std::span<align::Score>> outs(static_cast<std::size_t>(count));
+    for (int k = 0; k < count; ++k) {
+      out_rows_[static_cast<std::size_t>(k)].resize(
+          static_cast<std::size_t>(m - (r0 + k)));
+      outs[static_cast<std::size_t>(k)] = out_rows_[static_cast<std::size_t>(k)];
+    }
+    engine_.align(job, outs);
+
+    Message result;
+    result.tag = kResult;
+    result.data = {r0, count, v};
+    for (int k = 0; k < count; ++k) {
+      const int r = r0 + k;
+      const auto& row = out_rows_[static_cast<std::size_t>(k)];
+      align::Score score;
+      if (v == 0) {
+        score = align::find_best_end(row).score;
+        std::vector<std::int16_t> narrow(row.size());
+        for (std::size_t x = 0; x < row.size(); ++x)
+          narrow[x] = static_cast<std::int16_t>(row[x]);
+        if (partitioned()) {
+          // Route the row to its owner (in-process sends are causally
+          // ordered before our result reaches the master, so the deposit is
+          // always in the owner's mailbox before any consumer's request;
+          // a real-MPI port would acknowledge deposits before reporting).
+          const int owner = owner_of(r, comm_.size());
+          if (owner == rank_) {
+            owned_rows_.emplace(r, std::move(narrow));
+          } else {
+            comm_.send(rank_, owner, make_row_message(kRowDeposit, r, narrow));
+            row_cache_.emplace(r, std::move(narrow));  // keep our own copy
+          }
+        } else {
+          // Replica mode: cache locally; the archive copy rides the result.
+          row_cache_.emplace(r, std::move(narrow));
+        }
+      } else {
+        score = align::find_best_end(row, original_row(r)).score;
+      }
+      result.data.push_back(score);
+    }
+    if (v == 0 && !partitioned()) {
+      for (int k = 0; k < count; ++k)
+        for (align::Score x : out_rows_[static_cast<std::size_t>(k)])
+          result.data.push_back(x);
+    }
+    comm_.send(rank_, 0, std::move(result));
+  }
+
+  Comm& comm_;
+  int rank_;
+  const seq::Sequence& s_;
+  const seq::Scoring& scoring_;
+  const ClusterOptions& options_;
+  align::Engine& engine_;
+  align::OverrideTriangle triangle_;
+  int version_ = 0;
+  std::unordered_map<int, std::vector<std::int16_t>> row_cache_;
+  std::unordered_map<int, std::vector<std::int16_t>> owned_rows_;
+  std::vector<std::vector<align::Score>> out_rows_;
+};
+
+}  // namespace
+
+core::FinderResult find_top_alignments_cluster(const seq::Sequence& s,
+                                               const seq::Scoring& scoring,
+                                               const ClusterOptions& options,
+                                               const align::EngineFactory& factory,
+                                               ClusterRunInfo* info) {
+  REPRO_CHECK(options.ranks >= 1);
+  REPRO_CHECK(options.finder.min_score >= 1);
+  REPRO_CHECK_MSG(options.finder.memory == core::MemoryMode::kArchiveRows,
+                  "the distributed finder manages rows via RowStorage; "
+                  "MemoryMode::kRecomputeRows applies to the sequential "
+                  "finder only");
+  REPRO_CHECK_MSG(options.finder.traceback == core::TracebackMode::kFullMatrix,
+                  "the distributed master uses the full-matrix traceback");
+  if (options.ranks == 1) {
+    // Degenerate single-rank mode: no workers to message; run sequentially.
+    const auto engine = factory();
+    return core::find_top_alignments(s, scoring, options.finder, *engine);
+  }
+
+  std::vector<std::unique_ptr<align::Engine>> engines(
+      static_cast<std::size_t>(options.ranks));
+  for (int w = 1; w < options.ranks; ++w) {
+    engines[static_cast<std::size_t>(w)] = factory();
+    REPRO_CHECK(engines[static_cast<std::size_t>(w)] != nullptr);
+  }
+  const int lanes = engines[1]->lanes();
+  for (int w = 2; w < options.ranks; ++w)
+    REPRO_CHECK_MSG(engines[static_cast<std::size_t>(w)]->lanes() == lanes,
+                    "all worker engines must have the same lane count");
+
+  Comm comm(options.ranks);
+  Master master(comm, s, scoring, options, lanes);
+  core::FinderResult result;
+  run_ranks(comm, [&](int rank) {
+    if (rank == 0) {
+      result = master.run(info);
+    } else {
+      Worker worker(comm, rank, s, scoring, options,
+                    *engines[static_cast<std::size_t>(rank)]);
+      worker.run();
+    }
+  });
+  return result;
+}
+
+}  // namespace repro::cluster

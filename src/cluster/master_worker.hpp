@@ -1,0 +1,54 @@
+// Distributed-memory master/worker finder (paper §4.3) over the MPI-shaped
+// message substrate (cluster/mpisim.hpp).
+//
+// Rank 0 is sacrificed as the master: it owns the task queue, the
+// bottom-row archive, and the acceptance step (including the sequential
+// traceback). Workers own a private engine and a replicated override
+// triangle, kept current by update broadcasts; original bottom rows are
+// fetched from the master on demand and cached ("once computed, the last
+// row data never changes"). Acceptance uses the same deterministic guard as
+// the shared-memory finder, so the accepted top alignments are identical
+// for every rank count — and identical to the sequential algorithm's.
+#pragma once
+
+#include "align/engine.hpp"
+#include "core/options.hpp"
+#include "seq/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace repro::cluster {
+
+/// Where first-alignment bottom rows live (paper §4.3).
+///   kMasterReplica — the paper's implementation: the master archives every
+///     row; workers fetch replicas on demand and cache them. Requires the
+///     master to hold the full m(m-1)/2 store (the paper notes this breaks
+///     down past m ≈ 40000 at 2003 memory sizes).
+///   kPartitioned — the paper's proposed alternative for that regime: rows
+///     are partitioned over the workers by r; consumers (other workers, and
+///     the master at traceback time) ask the *owner*, which services
+///     requests whenever it touches its mailbox — modeling exactly the
+///     polling concern the paper raises.
+enum class RowStorage { kMasterReplica, kPartitioned };
+
+struct ClusterOptions {
+  /// Total ranks including the master; ranks == 1 runs a degenerate
+  /// master-computes-everything mode (for testing the protocol plumbing).
+  int ranks = 4;
+  RowStorage row_storage = RowStorage::kMasterReplica;
+  core::FinderOptions finder;
+};
+
+struct ClusterRunInfo {
+  std::uint64_t messages = 0;
+  std::uint64_t payload_words = 0;
+  std::uint64_t row_replicas_served = 0;  ///< master-served (replica mode)
+  std::uint64_t row_deposits = 0;         ///< owner deposits (partitioned mode)
+};
+
+core::FinderResult find_top_alignments_cluster(const seq::Sequence& s,
+                                               const seq::Scoring& scoring,
+                                               const ClusterOptions& options,
+                                               const align::EngineFactory& factory,
+                                               ClusterRunInfo* info = nullptr);
+
+}  // namespace repro::cluster

@@ -1,0 +1,121 @@
+#include "cluster/mpisim.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace repro::cluster {
+
+Comm::Comm(int size) {
+  REPRO_CHECK(size >= 1);
+  boxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Comm::send(int from, int to, Message msg) {
+  REPRO_CHECK(from >= 0 && from < size() && to >= 0 && to < size());
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  words_.fetch_add(msg.data.size() + 1, std::memory_order_relaxed);
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.queue.emplace_back(from, std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message Comm::recv(int to, int from) {
+  REPRO_CHECK(from >= 0 && from < size() && to >= 0 && to < size());
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->first == from) {
+        Message msg = std::move(it->second);
+        box.queue.erase(it);
+        return msg;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+Message Comm::recv_tagged(int to, int from, int tag) {
+  REPRO_CHECK(from >= 0 && from < size() && to >= 0 && to < size());
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->first == from && it->second.tag == tag) {
+        Message msg = std::move(it->second);
+        box.queue.erase(it);
+        return msg;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Comm::broadcast(int from, const Message& msg) {
+  for (int to = 0; to < size(); ++to)
+    if (to != from) send(from, to, msg);
+}
+
+void Comm::barrier(int rank) {
+  if (size() == 1) return;
+  if (rank == 0) {
+    for (int w = 1; w < size(); ++w) recv_tagged(0, w, kBarrierTag);
+    for (int w = 1; w < size(); ++w) send(0, w, {kBarrierTag, {}});
+  } else {
+    send(rank, 0, {kBarrierTag, {}});
+    recv_tagged(rank, 0, kBarrierTag);
+  }
+}
+
+std::pair<int, Message> Comm::recv_any(int to) {
+  REPRO_CHECK(to >= 0 && to < size());
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  std::unique_lock lock(box.mutex);
+  box.cv.wait(lock, [&box] { return !box.queue.empty(); });
+  auto front = std::move(box.queue.front());
+  box.queue.pop_front();
+  return front;
+}
+
+bool Comm::iprobe(int to) {
+  REPRO_CHECK(to >= 0 && to < size());
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  std::lock_guard lock(box.mutex);
+  return !box.queue.empty();
+}
+
+std::uint64_t Comm::messages_sent() const {
+  return messages_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Comm::words_sent() const {
+  return words_.load(std::memory_order_relaxed);
+}
+
+void run_ranks(Comm& comm, const std::function<void(int)>& body) {
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(comm.size()));
+  for (int rank = 0; rank < comm.size(); ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        body(rank);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace repro::cluster

@@ -1,0 +1,87 @@
+// An in-process message-passing substrate with MPI-shaped semantics.
+//
+// The paper's distributed finder is written against MPI (§4.3). No MPI
+// implementation is assumed here; ranks are threads of one process and
+// messages are moved queues, but the programming model is the same:
+// explicit ranks, tagged messages, blocking receives, FIFO ordering per
+// (source, destination) channel, no shared state between ranks other than
+// what is messaged. The master/worker protocol (master_worker.cpp) uses
+// only this interface, so porting it to real MPI is mechanical.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace repro::cluster {
+
+/// A tagged message with a flat i32 payload (scores, splits, row data).
+struct Message {
+  int tag = 0;
+  std::vector<std::int32_t> data;
+};
+
+/// A communicator over `size` ranks. All methods are thread-safe; each rank
+/// must only be driven by its own thread (as with MPI processes).
+class Comm {
+ public:
+  explicit Comm(int size);
+
+  [[nodiscard]] int size() const { return static_cast<int>(boxes_.size()); }
+
+  /// Asynchronous send (buffered, never blocks).
+  void send(int from, int to, Message msg);
+
+  /// Blocking receive of the next message from a specific source
+  /// (FIFO within the (from, to) channel).
+  Message recv(int to, int from);
+
+  /// Blocking receive of the next message from `from` with tag `tag`,
+  /// leaving other messages queued (like a tag-filtered MPI_Recv).
+  Message recv_tagged(int to, int from, int tag);
+
+  /// Blocking receive from any source; returns (source, message).
+  /// Messages from different sources may interleave in any order, but each
+  /// (source, destination) channel stays FIFO — like MPI_ANY_SOURCE.
+  std::pair<int, Message> recv_any(int to);
+
+  /// Nonblocking probe: true when recv_any(to) would not block.
+  bool iprobe(int to);
+
+  /// Sends `msg` from `from` to every other rank (MPI_Bcast-shaped).
+  void broadcast(int from, const Message& msg);
+
+  /// Collective barrier: every rank must call it; returns when all have.
+  /// Implemented purely with messages (gather at rank 0, then release) on a
+  /// reserved tag, so it composes with pending application traffic.
+  void barrier(int rank);
+
+  /// Total messages and payload words transferred (for bench reporting).
+  [[nodiscard]] std::uint64_t messages_sent() const;
+  [[nodiscard]] std::uint64_t words_sent() const;
+
+  /// Tag reserved for barrier traffic; applications must not use it.
+  static constexpr int kBarrierTag = -1001;
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::pair<int, Message>> queue;
+  };
+
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> words_{0};
+};
+
+/// Spawns `size` rank threads running body(rank) against a shared Comm and
+/// joins them; the first exception thrown by any rank is rethrown.
+void run_ranks(Comm& comm, const std::function<void(int)>& body);
+
+}  // namespace repro::cluster

@@ -1,0 +1,217 @@
+#include "cluster/virtual_cluster.hpp"
+
+#include <queue>
+#include <set>
+
+#include "core/task_queue.hpp"
+#include "util/check.hpp"
+
+namespace repro::cluster {
+namespace {
+
+using core::GroupTask;
+using core::TaskKey;
+
+struct KeyCmp {
+  bool operator()(const TaskKey& a, const TaskKey& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.r < b.r;
+  }
+};
+
+struct Completion {
+  double time = 0.0;
+  int gi = 0;
+  int version = 0;  // triangle version the alignment ran against
+  TaskKey bound;
+  int worker = 0;
+
+  bool operator>(const Completion& o) const { return time > o.time; }
+};
+
+class Simulation {
+ public:
+  Simulation(AlignmentOracle& oracle, const ClusterModel& model,
+             const core::FinderOptions& finder)
+      : oracle_(oracle),
+        model_(model),
+        finder_(finder),
+        m_(oracle.sequence().length()),
+        lanes_(oracle.lanes()),
+        workers_(model.processors <= 1 ? 1 : model.processors - 1) {
+    REPRO_CHECK(model.processors >= 1);
+    REPRO_CHECK(finder.min_score >= 1);
+    oracle_.begin_run();
+    const auto& layout = oracle_.group_layout();
+    groups_.assign(layout.begin(), layout.end());
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi)
+      queue_.push(static_cast<int>(gi), groups_[gi].key());
+    for (int w = 0; w < workers_; ++w) idle_.push_back(w);
+  }
+
+  SimResult run() {
+    for (;;) {
+      if (static_cast<int>(result_.accept_times.size()) >=
+          finder_.num_top_alignments)
+        break;
+      if (try_accept()) continue;
+      if (exhausted_) break;
+      if (try_assign()) continue;
+      if (running_.empty()) break;  // nothing runs, nothing accepted: done
+      process_completion();
+    }
+    result_.makespan_sec =
+        result_.accept_times.empty() ? now_ : result_.accept_times.back();
+    result_.tops_found = static_cast<int>(result_.accept_times.size());
+    if (result_.makespan_sec > 0.0)
+      result_.worker_busy_fraction =
+          busy_time_ / (static_cast<double>(workers_) * result_.makespan_sec);
+    return result_;
+  }
+
+ private:
+  int version() const { return oracle_.version(); }
+
+  bool group_stale(int gi) const {
+    const GroupTask& g = groups_[static_cast<std::size_t>(gi)];
+    return g.version[static_cast<std::size_t>(g.best_member())] != version();
+  }
+
+  double worker_rate() const {
+    const bool dual =
+        model_.cpus_per_node >= 2 && model_.processors > model_.cpus_per_node;
+    return model_.worker_cells_per_sec *
+           (dual ? model_.second_cpu_efficiency : 1.0);
+  }
+
+  bool try_accept() {
+    const auto head = queue_.peek();
+    if (!head || group_stale(head->second)) return false;
+    if (!inflight_.empty() && KeyCmp{}(*inflight_.begin(), head->first))
+      return false;
+    if (head->first.score < finder_.min_score) {
+      exhausted_ = true;
+      return false;
+    }
+    const auto popped = queue_.pop_best();
+    REPRO_CHECK(popped && *popped == head->second);
+    GroupTask& g = groups_[static_cast<std::size_t>(*popped)];
+    const int b = g.best_member();
+    const int r = g.r0 + b;
+    oracle_.accept(r, g.score[static_cast<std::size_t>(b)]);
+    // The sequential master-side traceback: a full scalar matrix of r x (m-r)
+    // cells. It occupies the master (and, at P = 1, the only CPU).
+    const double start = std::max(now_, master_free_);
+    const double cost = static_cast<double>(r) * static_cast<double>(m_ - r) /
+                        model_.traceback_cells_per_sec;
+    master_free_ = start + cost;
+    result_.accept_times.push_back(master_free_);
+    queue_.push(*popped, g.key());
+    return true;
+  }
+
+  bool try_assign() {
+    if (idle_.empty()) return false;
+    const auto gi = queue_.pop_best_if([this](int g) { return group_stale(g); });
+    if (!gi) return false;
+    const int w = idle_.back();
+    idle_.pop_back();
+    GroupTask& g = groups_[static_cast<std::size_t>(*gi)];
+
+    // Real scores, computed eagerly at assignment time (the triangle is at
+    // exactly this version now).
+    const std::vector<align::Score>& scores =
+        oracle_.member_scores(*gi, version());
+    ++result_.assignments;
+
+    const bool distributed = model_.processors > 1;
+    const double start = std::max(now_, master_free_);
+    double duration = static_cast<double>(g.r0 + g.count - 1) *
+                      static_cast<double>(m_ - g.r0) *
+                      static_cast<double>(lanes_) / worker_rate();
+    if (distributed) {
+      duration += 2.0 * model_.latency_sec;  // assign + result messages
+      // Row-replica fetches for shadow checks (cached per SMP node); a
+      // first alignment instead uploads its bottom rows with the result.
+      const int node = (w + 1) / std::max(1, model_.cpus_per_node);
+      std::uint64_t bytes = 0;
+      for (int k = 0; k < g.count; ++k) {
+        const int r = g.r0 + k;
+        if (version() == 0) {
+          bytes += static_cast<std::uint64_t>(m_ - r) * 2;  // upload
+          node_cache_.insert({node, r});
+        } else if (!node_cache_.contains({node, r})) {
+          bytes += static_cast<std::uint64_t>(m_ - r) * 2;  // fetch
+          duration += model_.latency_sec;
+          node_cache_.insert({node, r});
+        }
+      }
+      duration += static_cast<double>(bytes) / model_.bandwidth_bytes_per_sec;
+      result_.row_replica_bytes += bytes;
+    }
+
+    Completion c;
+    c.time = start + duration;
+    c.gi = *gi;
+    c.version = version();
+    c.bound = g.key();
+    c.worker = w;
+    running_.push(c);
+    inflight_.insert(c.bound);
+    busy_time_ += duration;
+    pending_scores_[{*gi, c.version}] = scores;
+    return true;
+  }
+
+  void process_completion() {
+    const Completion c = running_.top();
+    running_.pop();
+    now_ = std::max(now_, c.time);
+    const auto inflight_it = inflight_.find(c.bound);
+    REPRO_CHECK(inflight_it != inflight_.end());
+    inflight_.erase(inflight_it);
+    GroupTask& g = groups_[static_cast<std::size_t>(c.gi)];
+    const auto scores_it = pending_scores_.find({c.gi, c.version});
+    REPRO_CHECK(scores_it != pending_scores_.end());
+    for (int k = 0; k < g.count; ++k) {
+      g.score[static_cast<std::size_t>(k)] =
+          scores_it->second[static_cast<std::size_t>(k)];
+      g.version[static_cast<std::size_t>(k)] = c.version;
+    }
+    pending_scores_.erase(scores_it);
+    queue_.push(c.gi, g.key());
+    idle_.push_back(c.worker);
+  }
+
+  AlignmentOracle& oracle_;
+  const ClusterModel& model_;
+  const core::FinderOptions& finder_;
+  int m_;
+  int lanes_;
+  int workers_;
+
+  std::vector<GroupTask> groups_;
+  core::GroupQueue queue_;
+  std::multiset<TaskKey, KeyCmp> inflight_;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      running_;
+  std::map<std::pair<int, int>, std::vector<align::Score>> pending_scores_;
+  std::set<std::pair<int, int>> node_cache_;
+  std::vector<int> idle_;
+
+  double now_ = 0.0;
+  double master_free_ = 0.0;
+  double busy_time_ = 0.0;
+  bool exhausted_ = false;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult simulate_cluster(AlignmentOracle& oracle, const ClusterModel& model,
+                           const core::FinderOptions& finder) {
+  Simulation sim(oracle, model, finder);
+  return sim.run();
+}
+
+}  // namespace repro::cluster

@@ -1,0 +1,108 @@
+#include "core/consensus.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace repro::core {
+namespace {
+
+/// Copy start offsets for a given phase; empty when fewer than two copies fit.
+std::vector<int> segment(const RepeatRegion& region, int shift) {
+  std::vector<int> begins;
+  for (int start = region.begin + shift; start + region.period <= region.end;
+       start += region.period)
+    begins.push_back(start);
+  if (begins.size() < 2) begins.clear();
+  return begins;
+}
+
+/// Majority residue per column plus the total agreement count.
+struct ColumnVote {
+  std::vector<std::uint8_t> consensus;
+  int agreement = 0;
+};
+
+ColumnVote vote(const seq::Sequence& s, const std::vector<int>& begins,
+                int period) {
+  ColumnVote result;
+  result.consensus.resize(static_cast<std::size_t>(period));
+  std::vector<int> counts(static_cast<std::size_t>(s.alphabet().size()));
+  for (int c = 0; c < period; ++c) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (const int b : begins) ++counts[s[b + c]];
+    // Majority, ties to the smallest code (deterministic).
+    int best = 0;
+    for (int a = 1; a < s.alphabet().size(); ++a)
+      if (counts[static_cast<std::size_t>(a)] > counts[static_cast<std::size_t>(best)])
+        best = a;
+    result.consensus[static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(best);
+    result.agreement += counts[static_cast<std::size_t>(best)];
+  }
+  return result;
+}
+
+}  // namespace
+
+RepeatProfile build_profile(const seq::Sequence& s, const RepeatRegion& region) {
+  RepeatProfile profile;
+  if (region.period <= 0) return profile;
+  REPRO_CHECK(region.begin >= 0 && region.end <= s.length());
+
+  // Phase search: all cyclic shifts of the segmentation; keep the one whose
+  // columns agree most (ties to the smallest shift).
+  int best_shift = -1;
+  ColumnVote best_vote;
+  std::vector<int> best_begins;
+  for (int shift = 0; shift < region.period; ++shift) {
+    const auto begins = segment(region, shift);
+    if (begins.empty()) continue;
+    ColumnVote v = vote(s, begins, region.period);
+    // Normalise by copy count so a shift that drops one copy is not
+    // penalised for having fewer voters; compare cross-multiplied.
+    const bool better =
+        best_shift < 0 ||
+        static_cast<long long>(v.agreement) * static_cast<long long>(best_begins.size()) >
+            static_cast<long long>(best_vote.agreement) * static_cast<long long>(begins.size());
+    if (better) {
+      best_shift = shift;
+      best_vote = std::move(v);
+      best_begins = begins;
+    }
+  }
+  if (best_shift < 0) return profile;  // region too small for two copies
+
+  profile.period = region.period;
+  profile.begin = region.begin + best_shift;
+  profile.copy_begins = std::move(best_begins);
+  profile.agreement = best_vote.agreement;
+  profile.consensus.reserve(static_cast<std::size_t>(region.period));
+  for (const std::uint8_t code : best_vote.consensus)
+    profile.consensus.push_back(s.alphabet().decode(code));
+
+  profile.copy_identity.reserve(profile.copy_begins.size());
+  double total = 0.0;
+  for (const int b : profile.copy_begins) {
+    int same = 0;
+    for (int c = 0; c < profile.period; ++c)
+      same += s[b + c] == best_vote.consensus[static_cast<std::size_t>(c)];
+    const double identity =
+        static_cast<double>(same) / static_cast<double>(profile.period);
+    profile.copy_identity.push_back(identity);
+    total += identity;
+  }
+  profile.mean_identity = total / static_cast<double>(profile.copy_identity.size());
+  return profile;
+}
+
+std::vector<RepeatProfile> build_profiles(const seq::Sequence& s,
+                                          const std::vector<RepeatRegion>& regions) {
+  std::vector<RepeatProfile> profiles;
+  for (const auto& region : regions) {
+    RepeatProfile p = build_profile(s, region);
+    if (p.period > 0) profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,41 @@
+// Repeat profiles: consensus extraction for delineated repeat regions —
+// the rest of Repro's second phase, including the paper's future-work item
+// of tuning "the right starting positions of tandem repeats".
+//
+// A RepeatRegion (delineate.hpp) carries a span and a period; this module
+// segments the span into period-length copies, searches the cyclic phase
+// whose columns agree best (repeat boundaries are "often vague" — the
+// paper), and derives a majority-vote consensus with per-copy identities.
+// Columnwise by design: indel-rich copies blur the tail columns, which the
+// identity numbers then reflect honestly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/delineate.hpp"
+#include "seq/sequence.hpp"
+
+namespace repro::core {
+
+struct RepeatProfile {
+  int begin = 0;    ///< tuned start of the first full copy
+  int period = 0;
+  std::vector<int> copy_begins;      ///< starts of the segmented copies
+  std::string consensus;             ///< majority residue per column
+  std::vector<double> copy_identity; ///< per copy: fraction matching consensus
+  double mean_identity = 0.0;
+  /// Total majority agreements over all columns/copies — the phase-search
+  /// objective; exposed for tests and ranking.
+  int agreement = 0;
+};
+
+/// Builds the profile of one region; returns a default-constructed profile
+/// (period 0) when the region cannot hold two full copies.
+RepeatProfile build_profile(const seq::Sequence& s, const RepeatRegion& region);
+
+/// Profiles for every region (skipping degenerate ones).
+std::vector<RepeatProfile> build_profiles(const seq::Sequence& s,
+                                          const std::vector<RepeatRegion>& regions);
+
+}  // namespace repro::core

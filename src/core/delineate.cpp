@@ -1,0 +1,157 @@
+#include "core/delineate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace repro::core {
+
+int select_period(std::span<const int> offsets, double tolerance) {
+  if (offsets.empty()) return 0;
+  std::vector<int> sorted(offsets.begin(), offsets.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  // Candidate periods must have *direct evidence* in the data: either an
+  // observed offset, or a pairwise difference between offsets (top
+  // alignments mostly pair copies several units apart — a pair (i, j) of a
+  // split-r alignment satisfies i < r <= j — so the fundamental period often
+  // appears only as the spacing between offset levels). Requiring direct
+  // evidence is what keeps spurious subharmonics (p/2, p/4, ...) out.
+  constexpr int kMinPeriod = 2;
+  constexpr std::size_t kMaxSample = 256;
+  std::vector<int> sample;
+  if (sorted.size() <= kMaxSample) {
+    sample = sorted;
+  } else {
+    for (std::size_t k = 0; k < kMaxSample; ++k)
+      sample.push_back(sorted[k * sorted.size() / kMaxSample]);
+  }
+  std::vector<int> evidence = sample;
+  for (std::size_t a = 0; a < sample.size(); ++a)
+    for (std::size_t b = a + 1; b < sample.size(); ++b)
+      if (sample[b] - sample[a] >= kMinPeriod)
+        evidence.push_back(sample[b] - sample[a]);
+  std::sort(evidence.begin(), evidence.end());
+  evidence.erase(std::unique(evidence.begin(), evidence.end()), evidence.end());
+
+  // A candidate explains an offset when the offset sits within slack of one
+  // of its positive multiples; slack is capped below p/2 so small periods
+  // cannot trivially explain everything.
+  auto slack_of = [&](int p) {
+    return std::min(std::max(1, static_cast<int>(tolerance * p)), (p - 1) / 2);
+  };
+  auto explained = [&](int p) {
+    const int slack = slack_of(p);
+    std::size_t n = 0;
+    for (int o : sorted) {
+      const int mult = std::max(1, (o + p / 2) / p);
+      if (std::abs(o - mult * p) <= slack) ++n;
+    }
+    return n;
+  };
+  // Direct evidence: enough observed values near the candidate itself.
+  auto direct_support = [&](int p) {
+    const int slack = slack_of(p);
+    std::size_t n = 0;
+    for (int e : evidence) n += std::abs(e - p) <= slack;
+    return n;
+  };
+
+  // Score = explained minus the count a random offset sample would explain
+  // by chance ((2*slack+1)/p of it). The correction is what demotes exact
+  // subharmonics: p/5 explains every multiple of p too, but explains random
+  // positions five times as often, so its corrected score collapses.
+  const auto n = static_cast<double>(sorted.size());
+  auto score_of = [&](int p) {
+    const double chance = n * (2.0 * slack_of(p) + 1.0) / p;
+    return static_cast<double>(explained(p)) - chance;
+  };
+
+  double best_score = 0.0;
+  for (int p : evidence) {
+    if (p < kMinPeriod && sorted.back() >= kMinPeriod) continue;
+    best_score = std::max(best_score, score_of(p));
+  }
+  // Shortest directly-evidenced candidate scoring close to the best: the
+  // "prefer four AAC over two AACAAC" rule.
+  int fallback = evidence.back();
+  for (int p : evidence) {
+    if (p < kMinPeriod && sorted.back() >= kMinPeriod) continue;
+    if (direct_support(p) == 0) continue;
+    fallback = std::min(fallback, p);
+    if (best_score > 0.0 && score_of(p) >= 0.8 * best_score) return p;
+  }
+  return fallback;
+}
+
+std::vector<RepeatRegion> delineate_repeats(const seq::Sequence& s,
+                                            const std::vector<TopAlignment>& tops,
+                                            const DelineateOptions& options) {
+  REPRO_CHECK(options.max_gap >= 0 && options.min_region > 0);
+  const int m = s.length();
+
+  // Coverage: positions touched by any aligned pair.
+  std::vector<bool> covered(static_cast<std::size_t>(m), false);
+  std::vector<std::pair<int, int>> all_pairs;
+  for (const auto& top : tops) {
+    for (const auto& [i, j] : top.pairs) {
+      covered[static_cast<std::size_t>(i)] = true;
+      covered[static_cast<std::size_t>(j)] = true;
+      all_pairs.emplace_back(i, j);
+    }
+  }
+
+  // Merge covered positions into regions, bridging holes up to max_gap.
+  std::vector<RepeatRegion> regions;
+  int pos = 0;
+  while (pos < m) {
+    if (!covered[static_cast<std::size_t>(pos)]) {
+      ++pos;
+      continue;
+    }
+    int end = pos + 1;
+    int last_covered = pos;
+    while (end < m && end - last_covered <= options.max_gap) {
+      if (covered[static_cast<std::size_t>(end)]) last_covered = end;
+      ++end;
+    }
+    RepeatRegion region;
+    region.begin = pos;
+    region.end = last_covered + 1;
+    regions.push_back(region);
+    pos = end;
+  }
+
+  // Characterise each region by per-alignment offsets: each top alignment
+  // contributes the *median* offset of its pairs inside the region. Pair-
+  // level offsets drift along indel-rich paths and one long alignment would
+  // swamp the sample; per-top medians keep each homology vote equal.
+  std::vector<RepeatRegion> out;
+  for (RepeatRegion region : regions) {
+    if (region.end - region.begin < options.min_region) continue;
+    std::vector<int> offsets;
+    for (const auto& top : tops) {
+      std::vector<int> inside;
+      for (const auto& [i, j] : top.pairs) {
+        if (i >= region.begin && j < region.end) {
+          inside.push_back(j - i);
+          ++region.support;
+        }
+      }
+      if (inside.size() >= 4) {
+        std::nth_element(inside.begin(), inside.begin() + static_cast<std::ptrdiff_t>(inside.size() / 2),
+                         inside.end());
+        offsets.push_back(inside[inside.size() / 2]);
+      }
+    }
+    if (region.support < options.min_support) continue;
+    region.period = select_period(offsets, options.tolerance);
+    region.copies =
+        region.period > 0 ? (region.end - region.begin) / region.period : 0;
+    out.push_back(region);
+  }
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,47 @@
+// Repeat delineation from top alignments — the second phase of the Repro
+// method.
+//
+// The paper computes top alignments as input to repeat delineation and lists
+// two phase-2 refinements as future work: selecting the "best" repeat unit
+// length (in AACAACAACAAC: two AACAAC, four AAC, or eight A?) and tuning
+// tandem start positions. This module is a reference implementation of the
+// delineation step plus that unit-length filter: top-alignment pairs vote
+// for homology offsets; covered positions are merged into regions; each
+// region's period is the shortest offset that explains (as a near-multiple)
+// the bulk of the observed offsets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/top_alignment.hpp"
+#include "seq/sequence.hpp"
+
+namespace repro::core {
+
+struct RepeatRegion {
+  int begin = 0;      ///< first covered position (0-based)
+  int end = 0;        ///< exclusive end
+  int period = 0;     ///< selected repeat unit length
+  int copies = 0;     ///< floor(span / period)
+  int support = 0;    ///< number of top-alignment pairs inside the region
+};
+
+struct DelineateOptions {
+  int max_gap = 25;        ///< coverage holes up to this length stay merged
+  int min_region = 16;     ///< discard regions shorter than this
+  int min_support = 8;     ///< discard regions with fewer supporting pairs
+  double tolerance = 0.2;  ///< relative slack when matching offset multiples
+};
+
+/// Shortest period that explains the offset sample: the smallest candidate
+/// (offset-cluster median) whose near-multiples cover at least as many
+/// offsets as any other candidate (within 5 %). Returns 0 on empty input.
+int select_period(std::span<const int> offsets, double tolerance = 0.2);
+
+/// Delineates repeat regions of `s` from its top alignments.
+std::vector<RepeatRegion> delineate_repeats(const seq::Sequence& s,
+                                            const std::vector<TopAlignment>& tops,
+                                            const DelineateOptions& options = {});
+
+}  // namespace repro::core

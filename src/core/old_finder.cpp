@@ -1,0 +1,102 @@
+#include "core/old_finder.hpp"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "align/engine.hpp"
+#include "align/override_triangle.hpp"
+#include "align/traceback.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace repro::core {
+namespace {
+
+std::vector<std::int16_t> narrow_row(std::span<const align::Score> row) {
+  std::vector<std::int16_t> out(row.size());
+  for (std::size_t x = 0; x < row.size(); ++x) {
+    REPRO_CHECK_MSG(row[x] <= std::numeric_limits<std::int16_t>::max(),
+                    "score overflows i16 in old-algorithm shadow check");
+    out[x] = static_cast<std::int16_t>(row[x]);
+  }
+  return out;
+}
+
+}  // namespace
+
+FinderResult find_top_alignments_old(const seq::Sequence& s,
+                                     const seq::Scoring& scoring,
+                                     const FinderOptions& options) {
+  util::WallTimer timer;
+  const int m = s.length();
+  REPRO_CHECK_MSG(m >= 2, "sequence too short for top alignments");
+  REPRO_CHECK(options.min_score >= 1);
+
+  const auto engine = align::make_engine(align::EngineKind::kGeneralGap);
+  align::OverrideTriangle triangle(m);
+
+  FinderResult res;
+  FinderStats& st = res.stats;
+
+  while (static_cast<int>(res.tops.size()) < options.num_top_alignments) {
+    const bool first = res.tops.empty();
+    align::Score best_score = 0;
+    int best_r = 0;
+    std::vector<std::int16_t> best_without;  // kept for the traceback
+
+    // Exhaustive sweep: realign every rectangle from scratch.
+    for (int r = 1; r <= m - 1; ++r) {
+      align::GroupJob with;
+      with.seq = s.codes();
+      with.scoring = &scoring;
+      with.overrides = first ? nullptr : &triangle;
+      with.r0 = r;
+      with.count = 1;
+      const std::vector<align::Score> row_with = engine->align_one(with);
+      if (first) ++st.first_alignments; else ++st.realignments;
+
+      std::vector<std::int16_t> without;
+      if (!first) {
+        // Double alignment: the same rectangle without the triangle gives
+        // the reference scores for shadow rejection.
+        align::GroupJob plain = with;
+        plain.overrides = nullptr;
+        without = narrow_row(engine->align_one(plain));
+        ++st.realignments;
+      }
+
+      const align::BestEnd end = align::find_best_end(row_with, without);
+      if (end.end_x != 0 && (best_r == 0 || end.score > best_score)) {
+        best_score = end.score;
+        best_r = r;
+        best_without = std::move(without);
+      }
+    }
+
+    if (best_r == 0 || best_score < options.min_score) break;
+
+    align::GroupJob job;
+    job.seq = s.codes();
+    job.scoring = &scoring;
+    job.overrides = &triangle;
+    job.r0 = best_r;
+    job.count = 1;
+    align::Traceback tb = align::traceback_best(job, best_without);
+    REPRO_CHECK(tb.score == best_score);
+    for (const auto& [i, j] : tb.pairs) triangle.set(i, j);
+    TopAlignment top;
+    top.r = best_r;
+    top.score = tb.score;
+    top.end_x = tb.end_x;
+    top.pairs = std::move(tb.pairs);
+    res.tops.push_back(std::move(top));
+    ++st.tracebacks;
+  }
+
+  st.cells = engine->cells_computed();
+  st.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace repro::core

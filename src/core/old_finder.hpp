@@ -1,0 +1,29 @@
+// The old (1993) top-alignment algorithm — the paper's baseline.
+//
+// Three properties make it O(n^4) where the new algorithm is O(n^3):
+//   * the Eq.-1 recurrence is evaluated literally, scanning the whole row
+//     and column with a length-dependent gap penalty: O(n) per cell (the new
+//     algorithm's affine running maxima are O(1) per cell);
+//   * every rectangle is realigned from scratch for every top alignment
+//     (no best-first upper-bound ordering);
+//   * shadow alignments are rejected by the expensive double alignment the
+//     paper's Appendix A describes: each rectangle is aligned both with and
+//     without the override triangle, and only bottom-row cells with equal
+//     scores are valid alignment ends (the new algorithm archives the
+//     empty-triangle bottom rows once instead).
+//
+// It computes exactly the same top alignments as the new algorithm (the
+// paper's central correctness claim), which the test suite enforces.
+#pragma once
+
+#include "core/options.hpp"
+#include "seq/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace repro::core {
+
+FinderResult find_top_alignments_old(const seq::Sequence& s,
+                                     const seq::Scoring& scoring,
+                                     const FinderOptions& options = {});
+
+}  // namespace repro::core

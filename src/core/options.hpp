@@ -1,0 +1,68 @@
+// Options, statistics and result containers of the top-alignment finders.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/types.hpp"
+#include "core/top_alignment.hpp"
+
+namespace repro::core {
+
+/// Realignment ordering (§3). kBestFirst is the paper's contribution: scores
+/// from older override triangles are upper bounds, so realigning
+/// best-score-first provably skips rectangles that cannot win (typically
+/// 90–97 % of realignments). kExhaustiveSweep realigns every rectangle
+/// before each acceptance — the old algorithm's schedule — and exists for
+/// the ablation benches; both produce identical top alignments.
+enum class RescanPolicy { kBestFirst, kExhaustiveSweep };
+
+/// How first-alignment bottom rows (the shadow-rejection references and the
+/// dominant data structure, Appendix A) are kept.
+///   kArchiveRows    — the paper's implementation: m(m-1)/2 i16 entries.
+///   kRecomputeRows  — the paper's proposed linear-memory variant: originals
+///                     are recomputed on demand with an empty triangle. This
+///                     costs one extra (override-free) alignment per
+///                     realignment — and realignments are the rare case
+///                     (best-first prunes ~97 %), so the total overhead is a
+///                     few percent while the O(n^2) archive disappears.
+enum class MemoryMode { kArchiveRows, kRecomputeRows };
+
+/// How accepted alignments are reconstructed.
+///   kFullMatrix  — the paper's traceback: recompute the rectangle's full
+///                  matrix (rows x cols Scores) and walk back.
+///   kLinearSpace — the memory-efficient traceback family the paper cites
+///                  ("not covered here"): O(rows + cols) memory at ~2x the
+///                  score-only work. Scores and validity are identical;
+///                  among co-optimal paths it may mark different pairs, so
+///                  runs are internally deterministic but not byte-identical
+///                  to full-matrix runs beyond the first acceptance.
+enum class TracebackMode { kFullMatrix, kLinearSpace };
+
+struct FinderOptions {
+  /// Top alignments requested; the paper uses 10–30, more for long
+  /// sequences, 50 for Table 1 and up to 100 for Fig. 8.
+  int num_top_alignments = 20;
+  /// Stop early once no remaining alignment can reach this score.
+  align::Score min_score = 1;
+  RescanPolicy policy = RescanPolicy::kBestFirst;
+  MemoryMode memory = MemoryMode::kArchiveRows;
+  TracebackMode traceback = TracebackMode::kFullMatrix;
+};
+
+struct FinderStats {
+  std::uint64_t first_alignments = 0;  ///< score-only alignments, empty triangle
+  std::uint64_t realignments = 0;      ///< demanded re-alignments (stale member)
+  std::uint64_t speculative = 0;       ///< lane-mates recomputed while current
+  std::uint64_t tracebacks = 0;        ///< accepted top alignments traced
+  std::uint64_t queue_pops = 0;
+  std::uint64_t cells = 0;             ///< matrix lane-cells computed
+  double seconds = 0.0;
+};
+
+struct FinderResult {
+  std::vector<TopAlignment> tops;
+  FinderStats stats;
+};
+
+}  // namespace repro::core

@@ -1,0 +1,38 @@
+// Empirical score significance for top alignments.
+//
+// Which min_score separates real repeats from chance self-similarity
+// depends on the metric and the sequence composition (and, as the DNA
+// example shows, permissive metrics can even sit in the linear score regime
+// where chance alignments grow with length). Instead of analytic
+// Karlin–Altschul statistics — which do not cover gapped, self-alignment,
+// linear-regime cases — we calibrate empirically, exactly as one would have
+// next to the original Repro: shuffle the sequence (preserving composition),
+// find the best top alignment of each shuffle, and take a high quantile of
+// that null distribution as the threshold.
+#pragma once
+
+#include <cstdint>
+
+#include "align/types.hpp"
+#include "seq/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace repro::core {
+
+struct SignificanceOptions {
+  int samples = 20;          ///< shuffled replicas to score
+  double quantile = 1.0;     ///< 1.0 = max of the null sample (conservative)
+  double margin = 1.05;      ///< multiplied onto the quantile
+  std::uint64_t seed = 1;    ///< shuffle RNG seed
+};
+
+/// Returns a min_score threshold: top alignments of `s` scoring above it are
+/// unlikely to arise from composition alone. Cost: `samples` single-top
+/// searches on shuffles of `s`.
+align::Score score_threshold(const seq::Sequence& s, const seq::Scoring& scoring,
+                             const SignificanceOptions& options = {});
+
+/// Composition-preserving shuffle (Fisher–Yates on the residue codes).
+seq::Sequence shuffled(const seq::Sequence& s, std::uint64_t seed);
+
+}  // namespace repro::core

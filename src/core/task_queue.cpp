@@ -1,0 +1,36 @@
+#include "core/task_queue.hpp"
+
+namespace repro::core {
+
+std::vector<GroupTask> make_groups(int m, int lanes) {
+  REPRO_CHECK(m >= 2);
+  REPRO_CHECK(lanes >= 1);
+  std::vector<GroupTask> groups;
+  for (int r0 = 1; r0 <= m - 1; r0 += lanes)
+    groups.emplace_back(r0, std::min(lanes, m - r0));
+  return groups;
+}
+
+void GroupQueue::push(int group_index, TaskKey key) {
+  const bool inserted = entries_.emplace(key, group_index).second;
+  REPRO_CHECK_MSG(inserted, "group " << group_index << " already queued");
+}
+
+std::optional<int> GroupQueue::pop_best() {
+  if (entries_.empty()) return std::nullopt;
+  const int g = entries_.begin()->second;
+  entries_.erase(entries_.begin());
+  return g;
+}
+
+std::optional<TaskKey> GroupQueue::peek_key() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.begin()->first;
+}
+
+std::optional<std::pair<TaskKey, int>> GroupQueue::peek() const {
+  if (entries_.empty()) return std::nullopt;
+  return *entries_.begin();
+}
+
+}  // namespace repro::core

@@ -1,0 +1,47 @@
+#include "core/top_alignment.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace repro::core {
+
+std::string render(const TopAlignment& top, const seq::Sequence& s) {
+  REPRO_CHECK(!top.pairs.empty());
+  std::string line_a, line_m, line_b;
+  int pi = -1;
+  int pj = -1;
+  for (const auto& [i, j] : top.pairs) {
+    if (pi >= 0) {
+      // Gap segments between consecutive aligned pairs (at most one of the
+      // two sides advances by more than one position).
+      for (int k = pi + 1; k < i; ++k) {
+        line_a += s.alphabet().decode(s[k]);
+        line_m += ' ';
+        line_b += '-';
+      }
+      for (int k = pj + 1; k < j; ++k) {
+        line_a += '-';
+        line_m += ' ';
+        line_b += s.alphabet().decode(s[k]);
+      }
+    }
+    line_a += s.alphabet().decode(s[i]);
+    line_b += s.alphabet().decode(s[j]);
+    line_m += s[i] == s[j] ? '|' : '.';
+    pi = i;
+    pj = j;
+  }
+  return line_a + '\n' + line_m + '\n' + line_b + '\n';
+}
+
+std::string summary(const TopAlignment& top) {
+  std::ostringstream os;
+  os << "r=" << top.r << " score=" << top.score << " prefix["
+     << top.prefix_begin() << ".." << top.prefix_end() << "] x suffix["
+     << top.suffix_begin() << ".." << top.suffix_end() << "] pairs="
+     << top.pairs.size();
+  return os.str();
+}
+
+}  // namespace repro::core

@@ -1,0 +1,44 @@
+// Top alignments: the output objects of the search (paper §2.2).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "align/types.hpp"
+#include "seq/sequence.hpp"
+
+namespace repro::core {
+
+/// One accepted nonoverlapping top alignment: a local alignment of prefix
+/// S[0..r) against suffix S[r..m) whose aligned residue pairs do not reuse
+/// any pair of a previously accepted top alignment.
+struct TopAlignment {
+  int r = 0;                ///< split point
+  align::Score score = 0;   ///< Smith–Waterman score under the overrides
+  int end_x = 0;            ///< 1-based end column within rectangle r
+  /// Aligned residue pairs as global 0-based positions (i, j), i < j,
+  /// strictly ascending in both components.
+  std::vector<std::pair<int, int>> pairs;
+
+  bool operator==(const TopAlignment&) const = default;
+
+  /// First/last prefix position covered (0-based, inclusive).
+  [[nodiscard]] int prefix_begin() const { return pairs.front().first; }
+  [[nodiscard]] int prefix_end() const { return pairs.back().first; }
+  /// First/last suffix position covered (0-based, inclusive).
+  [[nodiscard]] int suffix_begin() const { return pairs.front().second; }
+  [[nodiscard]] int suffix_end() const { return pairs.back().second; }
+};
+
+/// Renders the classic three-line gapped view (sequence / match bars /
+/// sequence) of one top alignment, e.g.
+///   TTACAGA
+///   || |.||
+///   TTGC-GA
+std::string render(const TopAlignment& top, const seq::Sequence& s);
+
+/// One-line summary "r=… score=… [i0..i1] x [j0..j1] pairs=…".
+std::string summary(const TopAlignment& top);
+
+}  // namespace repro::core

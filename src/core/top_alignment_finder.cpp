@@ -1,0 +1,303 @@
+#include "core/top_alignment_finder.hpp"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "align/linear_traceback.hpp"
+#include "align/traceback.hpp"
+#include "core/task_queue.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace repro::core {
+namespace {
+
+/// Shared per-run state and the group realignment step (used by both rescan
+/// policies).
+class SequentialRun {
+ public:
+  SequentialRun(const seq::Sequence& s, const seq::Scoring& scoring,
+                const FinderOptions& options, align::Engine& engine)
+      : s_(s),
+        scoring_(scoring),
+        options_(options),
+        engine_(engine),
+        m_(s.length()),
+        triangle_(m_),
+        groups_(make_groups(m_, engine.lanes())) {
+    REPRO_CHECK_MSG(m_ >= 2, "sequence too short for top alignments");
+    REPRO_CHECK(options.min_score >= 1);
+    if (options.memory == MemoryMode::kArchiveRows)
+      rows_.emplace(m_);  // otherwise: Appendix-A linear-memory mode
+    REPRO_CHECK_MSG(&scoring.matrix.alphabet() == &s.alphabet(),
+                    "scoring matrix alphabet does not match the sequence");
+    out_rows_.resize(static_cast<std::size_t>(engine.lanes()));
+    plain_rows_.resize(static_cast<std::size_t>(engine.lanes()));
+  }
+
+  FinderResult run() {
+    util::WallTimer timer;
+    const std::uint64_t cells0 = engine_.cells_computed();
+    if (options_.policy == RescanPolicy::kBestFirst) {
+      run_best_first();
+    } else {
+      run_exhaustive();
+    }
+    result_.stats.cells = engine_.cells_computed() - cells0;
+    result_.stats.seconds = timer.seconds();
+    return std::move(result_);
+  }
+
+ private:
+  int version() const { return static_cast<int>(result_.tops.size()); }
+
+  /// (Re)aligns every member of a group against the current triangle and
+  /// refreshes the member scores (shadow-rejected bottom-row maxima).
+  void realign_group(GroupTask& g) {
+    align::GroupJob job;
+    job.seq = s_.codes();
+    job.scoring = &scoring_;
+    job.overrides = version() == 0 ? nullptr : &triangle_;
+    job.r0 = g.r0;
+    job.count = g.count;
+    std::vector<std::span<align::Score>> outs(static_cast<std::size_t>(g.count));
+    for (int k = 0; k < g.count; ++k) {
+      out_rows_[static_cast<std::size_t>(k)].resize(
+          static_cast<std::size_t>(m_ - (g.r0 + k)));
+      outs[static_cast<std::size_t>(k)] = out_rows_[static_cast<std::size_t>(k)];
+    }
+    engine_.align(job, outs);
+
+    // Low-memory mode: no archive — recompute the empty-triangle originals
+    // with one extra group alignment (only realignments pay this).
+    const bool recompute = !rows_.has_value() && version() > 0;
+    if (recompute) {
+      align::GroupJob plain = job;
+      plain.overrides = nullptr;
+      std::vector<std::span<align::Score>> plain_outs(
+          static_cast<std::size_t>(g.count));
+      for (int k = 0; k < g.count; ++k) {
+        plain_rows_[static_cast<std::size_t>(k)].resize(
+            static_cast<std::size_t>(m_ - (g.r0 + k)));
+        plain_outs[static_cast<std::size_t>(k)] =
+            plain_rows_[static_cast<std::size_t>(k)];
+      }
+      engine_.align(plain, plain_outs);
+    }
+
+    FinderStats& st = result_.stats;
+    for (int k = 0; k < g.count; ++k) {
+      const int r = g.r0 + k;
+      auto& row = out_rows_[static_cast<std::size_t>(k)];
+      if (g.version[static_cast<std::size_t>(k)] == -1) {
+        // Every rectangle is first-aligned while all queue keys are still
+        // infinite, i.e. before any acceptance; the archived bottom rows are
+        // therefore always empty-triangle originals.
+        REPRO_CHECK(version() == 0);
+        if (rows_.has_value()) rows_->store(r, row);
+        ++st.first_alignments;
+        g.score[static_cast<std::size_t>(k)] = align::find_best_end(row).score;
+      } else {
+        if (g.version[static_cast<std::size_t>(k)] == version()) {
+          ++st.speculative;  // lane-mate recomputed although already current
+        } else {
+          ++st.realignments;
+        }
+        g.score[static_cast<std::size_t>(k)] =
+            rows_.has_value()
+                ? align::find_best_end(row, rows_->row(r)).score
+                : align::find_best_end(
+                      row, std::span<const align::Score>(
+                               plain_rows_[static_cast<std::size_t>(k)]))
+                      .score;
+      }
+      g.version[static_cast<std::size_t>(k)] = version();
+    }
+  }
+
+  void accept(GroupTask& g, int member) {
+    const int r = g.r0 + member;
+    const align::Score expected = g.score[static_cast<std::size_t>(member)];
+    if (options_.traceback == TracebackMode::kLinearSpace) {
+      accept_linear(r, expected);
+    } else if (rows_.has_value()) {
+      result_.tops.push_back(
+          accept_alignment(s_, scoring_, triangle_, *rows_, r, expected));
+    } else {
+      // Recompute the original row for the shadow check of the traceback.
+      align::GroupJob plain;
+      plain.seq = s_.codes();
+      plain.scoring = &scoring_;
+      plain.r0 = r;
+      plain.count = 1;
+      const std::vector<align::Score> original = engine_.align_one(plain);
+      result_.tops.push_back(accept_alignment(s_, scoring_, triangle_,
+                                              original, r, expected));
+    }
+    ++result_.stats.tracebacks;
+  }
+
+  /// Acceptance via the O(rows+cols)-memory traceback (TracebackMode::
+  /// kLinearSpace); shares the shadow-rejection reference with accept().
+  void accept_linear(int r, align::Score expected) {
+    align::GroupJob job;
+    job.seq = s_.codes();
+    job.scoring = &scoring_;
+    job.overrides = &triangle_;
+    job.r0 = r;
+    job.count = 1;
+    align::Traceback tb;
+    if (rows_.has_value()) {
+      tb = align::traceback_best_linear(job, rows_->row(r));
+    } else {
+      align::GroupJob plain = job;
+      plain.overrides = nullptr;
+      const std::vector<align::Score> original = engine_.align_one(plain);
+      tb = align::traceback_best_linear(
+          job, std::span<const align::Score>(original));
+    }
+    REPRO_CHECK(tb.score == expected);
+    for (const auto& [i, j] : tb.pairs) triangle_.set(i, j);
+    TopAlignment top;
+    top.r = r;
+    top.score = tb.score;
+    top.end_x = tb.end_x;
+    top.pairs = std::move(tb.pairs);
+    result_.tops.push_back(std::move(top));
+  }
+
+  void run_best_first() {
+    GroupQueue queue;
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi)
+      queue.push(static_cast<int>(gi), groups_[gi].key());
+
+    while (static_cast<int>(result_.tops.size()) < options_.num_top_alignments) {
+      const auto gi = queue.pop_best();
+      if (!gi) break;
+      GroupTask& g = groups_[static_cast<std::size_t>(*gi)];
+      ++result_.stats.queue_pops;
+      const int b = g.best_member();
+      if (g.version[static_cast<std::size_t>(b)] == version()) {
+        if (g.score[static_cast<std::size_t>(b)] < options_.min_score) {
+          queue.push(*gi, g.key());
+          break;  // nothing left can reach min_score: all bounds are lower
+        }
+        accept(g, b);
+      } else {
+        realign_group(g);
+      }
+      queue.push(*gi, g.key());
+    }
+  }
+
+  void run_exhaustive() {
+    while (static_cast<int>(result_.tops.size()) < options_.num_top_alignments) {
+      // Old-style schedule: bring every rectangle up to date, then accept
+      // the global best. Produces the same tops as best-first.
+      for (auto& g : groups_) {
+        bool stale = false;
+        for (int k = 0; k < g.count; ++k)
+          stale |= g.version[static_cast<std::size_t>(k)] != version();
+        if (stale) realign_group(g);
+      }
+      int best_gi = -1;
+      TaskKey best_key;
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        const TaskKey k = groups_[gi].key();
+        if (best_gi < 0 || k.before(best_key)) {
+          best_gi = static_cast<int>(gi);
+          best_key = k;
+        }
+      }
+      REPRO_CHECK(best_gi >= 0);
+      if (best_key.score < options_.min_score) break;
+      GroupTask& g = groups_[static_cast<std::size_t>(best_gi)];
+      accept(g, g.best_member());
+    }
+  }
+
+  const seq::Sequence& s_;
+  const seq::Scoring& scoring_;
+  const FinderOptions& options_;
+  align::Engine& engine_;
+  int m_;
+  align::OverrideTriangle triangle_;
+  std::optional<align::BottomRowStore> rows_;
+  std::vector<GroupTask> groups_;
+  std::vector<std::vector<align::Score>> out_rows_;
+  std::vector<std::vector<align::Score>> plain_rows_;
+  FinderResult result_;
+};
+
+}  // namespace
+
+namespace {
+
+template <typename T>
+TopAlignment accept_with_row(const seq::Sequence& s, const seq::Scoring& scoring,
+                             align::OverrideTriangle& triangle,
+                             std::span<const T> original_row, int r,
+                             align::Score expected) {
+  align::GroupJob job;
+  job.seq = s.codes();
+  job.scoring = &scoring;
+  job.overrides = &triangle;
+  job.r0 = r;
+  job.count = 1;
+  align::Traceback tb = align::traceback_best(job, original_row);
+  REPRO_CHECK_MSG(tb.score == expected,
+                  "acceptance score mismatch at r=" << r << ": queued "
+                                                    << expected << ", traced "
+                                                    << tb.score);
+  for (const auto& [i, j] : tb.pairs) triangle.set(i, j);
+  TopAlignment top;
+  top.r = r;
+  top.score = tb.score;
+  top.end_x = tb.end_x;
+  top.pairs = std::move(tb.pairs);
+  return top;
+}
+
+}  // namespace
+
+TopAlignment accept_alignment(const seq::Sequence& s, const seq::Scoring& scoring,
+                              align::OverrideTriangle& triangle,
+                              const align::BottomRowStore& rows, int r,
+                              align::Score expected) {
+  return accept_with_row<std::int16_t>(s, scoring, triangle, rows.row(r), r,
+                                       expected);
+}
+
+TopAlignment accept_alignment(const seq::Sequence& s, const seq::Scoring& scoring,
+                              align::OverrideTriangle& triangle,
+                              std::span<const align::Score> original_row, int r,
+                              align::Score expected) {
+  return accept_with_row<align::Score>(s, scoring, triangle, original_row, r,
+                                       expected);
+}
+
+TopAlignment accept_alignment(const seq::Sequence& s, const seq::Scoring& scoring,
+                              align::OverrideTriangle& triangle,
+                              std::span<const std::int16_t> original_row, int r,
+                              align::Score expected) {
+  return accept_with_row<std::int16_t>(s, scoring, triangle, original_row, r,
+                                       expected);
+}
+
+FinderResult find_top_alignments(const seq::Sequence& s,
+                                 const seq::Scoring& scoring,
+                                 const FinderOptions& options,
+                                 align::Engine& engine) {
+  SequentialRun run(s, scoring, options, engine);
+  return run.run();
+}
+
+FinderResult find_top_alignments(const seq::Sequence& s,
+                                 const seq::Scoring& scoring,
+                                 const FinderOptions& options) {
+  const auto engine = align::make_best_engine();
+  return find_top_alignments(s, scoring, options, *engine);
+}
+
+}  // namespace repro::core

@@ -1,0 +1,66 @@
+// The new sequential top-alignment algorithm (paper §3, Fig. 5, Appendix A).
+//
+// For a sequence S of length m, all m-1 prefix/suffix rectangles are first
+// aligned score-only against the empty override triangle (their bottom rows
+// are archived). Rectangles are then repeatedly taken best-score-first:
+//   * if the best rectangle's score is stale (older triangle), it is
+//     realigned — its new score is the shadow-rejected maximum of its bottom
+//     row — and requeued;
+//   * if it is current, it is *accepted*: its alignment is traced back, its
+//     pairs are added to the override triangle, and the search continues for
+//     the next top alignment.
+// Scores under an older triangle are upper bounds for newer triangles, so
+// best-first ordering is exact, not heuristic in the lossy sense: it skips
+// only realignments that provably cannot produce the next top alignment.
+//
+// The engine decides the SIMD group width: with an L-lane engine, rectangles
+// are scheduled in fixed groups of L neighbouring splits (§4.1); the
+// accepted top alignments are identical for every engine and group width.
+#pragma once
+
+#include "align/bottom_row_store.hpp"
+#include "align/engine.hpp"
+#include "align/override_triangle.hpp"
+#include "core/options.hpp"
+#include "seq/sequence.hpp"
+
+namespace repro::core {
+
+/// Runs the new algorithm with the given engine.
+FinderResult find_top_alignments(const seq::Sequence& s,
+                                 const seq::Scoring& scoring,
+                                 const FinderOptions& options,
+                                 align::Engine& engine);
+
+/// Convenience overload using the widest SIMD engine available.
+FinderResult find_top_alignments(const seq::Sequence& s,
+                                 const seq::Scoring& scoring,
+                                 const FinderOptions& options = {});
+
+/// Accepts rectangle r as the next top alignment: recomputes its full matrix
+/// under `triangle`, traces back the best valid end cell, verifies the score
+/// equals `expected`, and marks the alignment's pairs in `triangle`.
+/// Shared by the sequential, shared-memory, and distributed finders.
+TopAlignment accept_alignment(const seq::Sequence& s,
+                              const seq::Scoring& scoring,
+                              align::OverrideTriangle& triangle,
+                              const align::BottomRowStore& rows, int r,
+                              align::Score expected);
+
+/// Overload taking a freshly recomputed original bottom row (the Appendix-A
+/// low-memory mode, MemoryMode::kRecomputeRows).
+TopAlignment accept_alignment(const seq::Sequence& s,
+                              const seq::Scoring& scoring,
+                              align::OverrideTriangle& triangle,
+                              std::span<const align::Score> original_row, int r,
+                              align::Score expected);
+
+/// Overload taking an archived (i16) original row directly — used by the
+/// distributed master, whose row may be a fetched replica.
+TopAlignment accept_alignment(const seq::Sequence& s,
+                              const seq::Scoring& scoring,
+                              align::OverrideTriangle& triangle,
+                              std::span<const std::int16_t> original_row, int r,
+                              align::Score expected);
+
+}  // namespace repro::core

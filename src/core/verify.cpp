@@ -1,0 +1,97 @@
+#include "core/verify.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace repro::core {
+
+align::Score score_from_pairs(const TopAlignment& top, const seq::Sequence& s,
+                              const seq::Scoring& scoring) {
+  REPRO_CHECK(!top.pairs.empty());
+  align::Score score = 0;
+  int pi = -1;
+  int pj = -1;
+  for (const auto& [i, j] : top.pairs) {
+    REPRO_CHECK_MSG(i >= 0 && j < s.length() && i < j,
+                    "pair (" << i << "," << j << ") out of bounds");
+    if (pi >= 0) {
+      const int di = i - pi;
+      const int dj = j - pj;
+      REPRO_CHECK_MSG(di >= 1 && dj >= 1, "pairs not strictly ascending");
+      REPRO_CHECK_MSG(di == 1 || dj == 1,
+                      "both sides gapped between consecutive pairs");
+      if (di > 1) score -= scoring.gap.cost(di - 1);
+      if (dj > 1) score -= scoring.gap.cost(dj - 1);
+    }
+    score += scoring.matrix.score(s[i], s[j]);
+    pi = i;
+    pj = j;
+  }
+  return score;
+}
+
+void validate_tops(const std::vector<TopAlignment>& tops,
+                   const seq::Sequence& s, const seq::Scoring& scoring) {
+  std::set<std::pair<int, int>> used;
+  align::Score prev_score = 0;
+  for (std::size_t t = 0; t < tops.size(); ++t) {
+    const TopAlignment& top = tops[t];
+    REPRO_CHECK_MSG(top.r >= 1 && top.r <= s.length() - 1,
+                    "top " << t << ": split r=" << top.r << " out of range");
+    REPRO_CHECK_MSG(top.score > 0, "top " << t << ": nonpositive score");
+    REPRO_CHECK_MSG(!top.pairs.empty(), "top " << t << ": empty pair list");
+    // Rectangle membership: prefix side < r, suffix side >= r.
+    for (const auto& [i, j] : top.pairs) {
+      REPRO_CHECK_MSG(i < top.r && j >= top.r,
+                      "top " << t << ": pair (" << i << "," << j
+                             << ") outside rectangle r=" << top.r);
+    }
+    // The alignment ends in the bottom row: last prefix position is r-1.
+    REPRO_CHECK_MSG(top.pairs.back().first == top.r - 1,
+                    "top " << t << " does not end in the bottom row");
+    REPRO_CHECK_MSG(top.pairs.back().second == top.r + top.end_x - 1,
+                    "top " << t << ": end_x inconsistent with last pair");
+    // Score reproducibility.
+    const align::Score recomputed = score_from_pairs(top, s, scoring);
+    REPRO_CHECK_MSG(recomputed == top.score,
+                    "top " << t << ": stored score " << top.score
+                           << " != recomputed " << recomputed);
+    // Nonoverlap: no residue pair may repeat across accepted alignments.
+    for (const auto& p : top.pairs)
+      REPRO_CHECK_MSG(used.insert(p).second,
+                      "top " << t << ": pair (" << p.first << "," << p.second
+                             << ") reused across top alignments");
+    // Acceptance order: scores never increase.
+    if (t > 0)
+      REPRO_CHECK_MSG(top.score <= prev_score,
+                      "top " << t << ": score " << top.score
+                             << " exceeds previous " << prev_score);
+    prev_score = top.score;
+  }
+}
+
+bool same_tops(const std::vector<TopAlignment>& a,
+               const std::vector<TopAlignment>& b, std::string* diff) {
+  auto describe = [&](const std::string& msg) {
+    if (diff != nullptr) *diff = msg;
+    return false;
+  };
+  if (a.size() != b.size()) {
+    std::ostringstream os;
+    os << "count differs: " << a.size() << " vs " << b.size();
+    return describe(os.str());
+  }
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    if (!(a[t] == b[t])) {
+      std::ostringstream os;
+      os << "top " << t << " differs: {" << summary(a[t]) << "} vs {"
+         << summary(b[t]) << "}";
+      return describe(os.str());
+    }
+  }
+  return true;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,36 @@
+// Structural verification of top-alignment results.
+//
+// Used by the test suite and by benches in --verify mode; these checks
+// encode the paper's invariants:
+//   * a top alignment's score is reproducible from its pairs (exchange
+//     values minus affine gap costs),
+//   * accepted alignments never share a residue pair (nonoverlap, §2.2),
+//   * scores are nonincreasing across the accepted sequence (the override
+//     triangle only removes scoring mass),
+//   * two finders/configurations produce identical top alignments (the
+//     paper's "computes exactly the same top alignments" claim).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/top_alignment.hpp"
+#include "seq/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace repro::core {
+
+/// Recomputes the alignment score from the pair list.
+align::Score score_from_pairs(const TopAlignment& top, const seq::Sequence& s,
+                              const seq::Scoring& scoring);
+
+/// Throws (with a descriptive message) on any violated invariant.
+void validate_tops(const std::vector<TopAlignment>& tops,
+                   const seq::Sequence& s, const seq::Scoring& scoring);
+
+/// Compares two result lists; when they differ and `diff` is non-null, a
+/// human-readable description of the first divergence is written to it.
+bool same_tops(const std::vector<TopAlignment>& a,
+               const std::vector<TopAlignment>& b, std::string* diff = nullptr);
+
+}  // namespace repro::core

@@ -1,0 +1,163 @@
+#include "core/waterman_eggert.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace repro::core {
+namespace {
+
+using align::kNegInf;
+using align::Score;
+
+/// Full affine local-alignment matrix with a forbidden-cell set.
+class PairMatrix {
+ public:
+  PairMatrix(const seq::Sequence& a, const seq::Sequence& b,
+             const seq::Scoring& scoring)
+      : a_(a), b_(b), scoring_(scoring), w_(static_cast<std::size_t>(b.length()) + 1) {
+    mat_.resize((static_cast<std::size_t>(a.length()) + 1) * w_);
+  }
+
+  void recompute(const std::set<std::pair<int, int>>& forbidden) {
+    const int rows = a_.length();
+    const int cols = b_.length();
+    std::fill(mat_.begin(), mat_.end(), 0);
+    std::vector<Score> max_y(w_, kNegInf);
+    best_ = 0;
+    best_y_ = 0;
+    best_x_ = 0;
+    for (int y = 1; y <= rows; ++y) {
+      const std::int16_t* erow = scoring_.matrix.row(a_[y - 1]);
+      Score max_x = kNegInf;
+      for (int x = 1; x <= cols; ++x) {
+        const Score diag = at(y - 1, x - 1);
+        const Score inner = std::max({max_x, max_y[static_cast<std::size_t>(x)], diag});
+        Score h = std::max(Score{0}, erow[b_[x - 1]] + inner);
+        if (forbidden.contains({y - 1, x - 1})) h = 0;
+        at(y, x) = h;
+        // Best over ALL cells (no bottom-row restriction for pairs); ties
+        // to the smallest (y, x) for determinism.
+        if (h > best_) {
+          best_ = h;
+          best_y_ = y;
+          best_x_ = x;
+        }
+        max_x = std::max(diag - scoring_.gap.open, max_x) - scoring_.gap.extend;
+        max_y[static_cast<std::size_t>(x)] =
+            std::max(diag - scoring_.gap.open, max_y[static_cast<std::size_t>(x)]) -
+            scoring_.gap.extend;
+      }
+    }
+  }
+
+  [[nodiscard]] Score best() const { return best_; }
+
+  /// Walks back from the matrix maximum (same move preferences as the
+  /// rectangle traceback: diagonal, shortest horizontal gap, shortest
+  /// vertical gap).
+  [[nodiscard]] PairAlignment traceback() const {
+    PairAlignment out;
+    out.score = best_;
+    int y = best_y_;
+    int x = best_x_;
+    while (true) {
+      const Score h = at(y, x);
+      REPRO_DCHECK(h > 0);
+      out.pairs.emplace_back(y - 1, x - 1);
+      const Score e = scoring_.matrix.score(a_[y - 1], b_[x - 1]);
+      const Score inner = h - e;
+      int py = -1;
+      int px = -1;
+      if (at(y - 1, x - 1) == inner) {
+        py = y - 1;
+        px = x - 1;
+      } else {
+        for (int g = 1; g <= x - 2 && py < 0; ++g)
+          if (at(y - 1, x - 1 - g) - scoring_.gap.open - g * scoring_.gap.extend ==
+              inner) {
+            py = y - 1;
+            px = x - 1 - g;
+          }
+        for (int g = 1; g <= y - 2 && py < 0; ++g)
+          if (at(y - 1 - g, x - 1) - scoring_.gap.open - g * scoring_.gap.extend ==
+              inner) {
+            py = y - 1 - g;
+            px = x - 1;
+          }
+      }
+      REPRO_CHECK_MSG(py >= 0, "pair traceback lost at (" << y << "," << x << ")");
+      if (at(py, px) == 0) break;
+      y = py;
+      x = px;
+    }
+    std::reverse(out.pairs.begin(), out.pairs.end());
+    return out;
+  }
+
+ private:
+  [[nodiscard]] Score& at(int y, int x) {
+    return mat_[static_cast<std::size_t>(y) * w_ + static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] Score at(int y, int x) const {
+    return mat_[static_cast<std::size_t>(y) * w_ + static_cast<std::size_t>(x)];
+  }
+
+  const seq::Sequence& a_;
+  const seq::Sequence& b_;
+  const seq::Scoring& scoring_;
+  std::size_t w_;
+  std::vector<Score> mat_;
+  Score best_ = 0;
+  int best_y_ = 0;
+  int best_x_ = 0;
+};
+
+}  // namespace
+
+std::vector<PairAlignment> waterman_eggert(const seq::Sequence& a,
+                                           const seq::Sequence& b,
+                                           const seq::Scoring& scoring, int k,
+                                           align::Score min_score) {
+  REPRO_CHECK(k >= 0);
+  REPRO_CHECK(min_score >= 1);
+  REPRO_CHECK(a.length() >= 1 && b.length() >= 1);
+  std::vector<PairAlignment> out;
+  std::set<std::pair<int, int>> forbidden;
+  PairMatrix matrix(a, b, scoring);
+  for (int round = 0; round < k; ++round) {
+    // The original method's schedule: full recompute after each report (the
+    // paper's override triangle makes this incremental across rectangles).
+    matrix.recompute(forbidden);
+    if (matrix.best() < min_score) break;
+    PairAlignment alignment = matrix.traceback();
+    for (const auto& p : alignment.pairs) forbidden.insert(p);
+    out.push_back(std::move(alignment));
+  }
+  return out;
+}
+
+align::Score pair_score(const PairAlignment& alignment, const seq::Sequence& a,
+                        const seq::Sequence& b, const seq::Scoring& scoring) {
+  REPRO_CHECK(!alignment.pairs.empty());
+  Score score = 0;
+  int pi = -1;
+  int pj = -1;
+  for (const auto& [i, j] : alignment.pairs) {
+    REPRO_CHECK(i >= 0 && i < a.length() && j >= 0 && j < b.length());
+    if (pi >= 0) {
+      const int di = i - pi;
+      const int dj = j - pj;
+      REPRO_CHECK(di >= 1 && dj >= 1 && (di == 1 || dj == 1));
+      if (di > 1) score -= scoring.gap.cost(di - 1);
+      if (dj > 1) score -= scoring.gap.cost(dj - 1);
+    }
+    score += scoring.matrix.score(a[i], b[j]);
+    pi = i;
+    pj = j;
+  }
+  return score;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,43 @@
+// Waterman–Eggert (1987) K-best nonoverlapping local alignments of a
+// sequence pair — the zero-override predecessor the paper builds on
+// (Appendix A cites Waterman & Eggert and Huang et al.).
+//
+// After each reported alignment its path cells are forbidden (forced to
+// zero) and the matrix is recomputed — which is precisely the recompute
+// cascade the paper's override triangle manages incrementally across all
+// m-1 rectangles at once. Two deliberate differences from the top-alignment
+// machinery, preserved for fidelity to the original method:
+//   * alignments may end anywhere in the matrix (a pair alignment has no
+//     bottom-row-sufficiency argument);
+//   * there is no shadow rejection — a rerouted suboptimal alignment is
+//     reported if it is the current matrix maximum (the paper's §3/Appendix
+//     explain why Repro must NOT do this for self-alignment rectangles).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "align/types.hpp"
+#include "seq/scoring.hpp"
+#include "seq/sequence.hpp"
+
+namespace repro::core {
+
+struct PairAlignment {
+  align::Score score = 0;
+  /// Aligned index pairs (position in a, position in b), strictly ascending.
+  std::vector<std::pair<int, int>> pairs;
+};
+
+/// Up to k best nonoverlapping local alignments of a vs b; stops early when
+/// the best remaining score drops below min_score.
+std::vector<PairAlignment> waterman_eggert(const seq::Sequence& a,
+                                           const seq::Sequence& b,
+                                           const seq::Scoring& scoring, int k,
+                                           align::Score min_score = 1);
+
+/// Recomputes a PairAlignment's score from its pairs (test/verify helper).
+align::Score pair_score(const PairAlignment& alignment, const seq::Sequence& a,
+                        const seq::Sequence& b, const seq::Scoring& scoring);
+
+}  // namespace repro::core

@@ -1,0 +1,257 @@
+#include "parallel/parallel_finder.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "align/bottom_row_store.hpp"
+#include "align/override_triangle.hpp"
+#include "align/traceback.hpp"
+#include "core/task_queue.hpp"
+#include "core/top_alignment_finder.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace repro::parallel {
+namespace {
+
+using core::GroupTask;
+using core::TaskKey;
+
+struct InflightCmp {
+  bool operator()(const TaskKey& a, const TaskKey& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.r < b.r;
+  }
+};
+
+/// All state shared between worker threads; one mutex guards everything
+/// except the override triangle (atomic bits, see OverrideTriangle) and the
+/// bottom-row store (first alignments write disjoint rows).
+class SharedRun {
+ public:
+  SharedRun(const seq::Sequence& s, const seq::Scoring& scoring,
+            const ParallelOptions& options, int lanes)
+      : s_(s),
+        scoring_(scoring),
+        options_(options),
+        triangle_(s.length()),
+        rows_(s.length()),
+        groups_(core::make_groups(s.length(), lanes)) {
+    REPRO_CHECK(options.threads >= 1);
+    REPRO_CHECK(options.finder.min_score >= 1);
+    REPRO_CHECK_MSG(options.finder.memory == core::MemoryMode::kArchiveRows,
+                    "the shared-memory finder archives bottom rows (the "
+                    "store is shared); use the sequential finder for "
+                    "MemoryMode::kRecomputeRows");
+    REPRO_CHECK_MSG(
+        options.finder.traceback == core::TracebackMode::kFullMatrix,
+        "the shared-memory finder uses the full-matrix traceback; use the "
+        "sequential finder for TracebackMode::kLinearSpace");
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi)
+      queue_.push(static_cast<int>(gi), groups_[gi].key());
+  }
+
+  void worker(align::Engine& engine) {
+    try {
+      worker_impl(engine);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      done_ = true;
+      cv_.notify_all();
+    }
+  }
+
+  core::FinderResult finish(double seconds, std::uint64_t cells) {
+    if (error_) std::rethrow_exception(error_);
+    stats_.seconds = seconds;
+    stats_.cells = cells;
+    core::FinderResult res;
+    res.tops = std::move(tops_);
+    res.stats = stats_;
+    return res;
+  }
+
+ private:
+  int version() const { return static_cast<int>(tops_.size()); }
+
+  bool group_stale(int gi) const {
+    const GroupTask& g = groups_[static_cast<std::size_t>(gi)];
+    return g.version[static_cast<std::size_t>(g.best_member())] != version();
+  }
+
+  void worker_impl(align::Engine& engine) {
+    std::vector<std::vector<align::Score>> out_rows(
+        static_cast<std::size_t>(engine.lanes()));
+    std::unique_lock lock(mutex_);
+    while (!done_) {
+      // 1. Acceptance: the head is up to date, nothing in flight can order
+      //    before it, and no other acceptance is running.
+      if (!accepting_) {
+        const auto head = queue_.peek();
+        if (head && !group_stale(head->second)) {
+          const bool blocked =
+              !inflight_.empty() &&
+              InflightCmp{}(*inflight_.begin(), head->first);
+          if (!blocked) {
+            if (head->first.score < options_.finder.min_score) {
+              done_ = true;  // every bound is lower: search exhausted
+              cv_.notify_all();
+              return;
+            }
+            accept_head(lock, head->second);
+            if (static_cast<int>(tops_.size()) >=
+                options_.finder.num_top_alignments)
+              done_ = true;
+            cv_.notify_all();
+            continue;
+          }
+        }
+      }
+
+      // 2. Speculation: realign the best stale group not yet assigned.
+      const auto gi = queue_.pop_best_if([this](int g) { return group_stale(g); });
+      if (gi) {
+        realign(lock, *gi, engine, out_rows);
+        cv_.notify_all();
+        continue;
+      }
+
+      // 3. Exhaustion: nothing queued, nothing running, nothing accepting.
+      if (queue_.empty() && inflight_.empty() && !accepting_) {
+        done_ = true;
+        cv_.notify_all();
+        return;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  void accept_head(std::unique_lock<std::mutex>& lock, int gi) {
+    const auto popped = queue_.pop_best();
+    REPRO_CHECK(popped && *popped == gi);
+    GroupTask& g = groups_[static_cast<std::size_t>(gi)];
+    const int b = g.best_member();
+    const int r = g.r0 + b;
+    const align::Score expected = g.score[static_cast<std::size_t>(b)];
+    accepting_ = true;
+    lock.unlock();
+    // Traceback runs unlocked (the paper notes it is the slow sequential
+    // part); it is the only writer of the triangle while accepting_ holds.
+    core::TopAlignment top = core::accept_alignment(s_, scoring_, triangle_,
+                                                    rows_, r, expected);
+    lock.lock();
+    tops_.push_back(std::move(top));
+    ++stats_.tracebacks;
+    accepting_ = false;
+    queue_.push(gi, g.key());
+  }
+
+  void realign(std::unique_lock<std::mutex>& lock, int gi,
+               align::Engine& engine,
+               std::vector<std::vector<align::Score>>& out_rows) {
+    GroupTask& g = groups_[static_cast<std::size_t>(gi)];
+    const TaskKey bound = g.key();
+    const int v = version();  // label: triangle version at kernel start
+    const std::vector<int> prev_version = g.version;
+    const auto it = inflight_.insert(bound);
+    ++stats_.queue_pops;
+    lock.unlock();
+
+    align::GroupJob job;
+    job.seq = s_.codes();
+    job.scoring = &scoring_;
+    job.overrides = v == 0 ? nullptr : &triangle_;
+    job.r0 = g.r0;
+    job.count = g.count;
+    std::vector<std::span<align::Score>> outs(static_cast<std::size_t>(g.count));
+    for (int k = 0; k < g.count; ++k) {
+      out_rows[static_cast<std::size_t>(k)].resize(
+          static_cast<std::size_t>(s_.length() - (g.r0 + k)));
+      outs[static_cast<std::size_t>(k)] = out_rows[static_cast<std::size_t>(k)];
+    }
+    engine.align(job, outs);
+
+    std::vector<align::Score> new_scores(static_cast<std::size_t>(g.count));
+    for (int k = 0; k < g.count; ++k) {
+      const int r = g.r0 + k;
+      auto& row = out_rows[static_cast<std::size_t>(k)];
+      if (prev_version[static_cast<std::size_t>(k)] == -1) {
+        REPRO_CHECK(v == 0);  // first alignments precede any acceptance
+        rows_.store(r, row);  // disjoint rows: safe unlocked
+        new_scores[static_cast<std::size_t>(k)] =
+            align::find_best_end(row).score;
+      } else {
+        new_scores[static_cast<std::size_t>(k)] =
+            align::find_best_end(row, rows_.row(r)).score;
+      }
+    }
+
+    lock.lock();
+    inflight_.erase(it);
+    for (int k = 0; k < g.count; ++k) {
+      if (prev_version[static_cast<std::size_t>(k)] == -1) {
+        ++stats_.first_alignments;
+      } else if (prev_version[static_cast<std::size_t>(k)] == v) {
+        ++stats_.speculative;
+      } else {
+        ++stats_.realignments;
+      }
+      g.score[static_cast<std::size_t>(k)] = new_scores[static_cast<std::size_t>(k)];
+      g.version[static_cast<std::size_t>(k)] = v;
+    }
+    queue_.push(gi, g.key());
+  }
+
+  const seq::Sequence& s_;
+  const seq::Scoring& scoring_;
+  const ParallelOptions& options_;
+  align::OverrideTriangle triangle_;
+  align::BottomRowStore rows_;
+  std::vector<GroupTask> groups_;
+  core::GroupQueue queue_;
+  std::multiset<TaskKey, InflightCmp> inflight_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool accepting_ = false;
+  bool done_ = false;
+  std::exception_ptr error_;
+
+  std::vector<core::TopAlignment> tops_;
+  core::FinderStats stats_;
+};
+
+}  // namespace
+
+core::FinderResult find_top_alignments_parallel(const seq::Sequence& s,
+                                                const seq::Scoring& scoring,
+                                                const ParallelOptions& options,
+                                                const EngineFactory& factory) {
+  util::WallTimer timer;
+  std::vector<std::unique_ptr<align::Engine>> engines;
+  engines.reserve(static_cast<std::size_t>(options.threads));
+  for (int t = 0; t < options.threads; ++t) {
+    engines.push_back(factory());
+    REPRO_CHECK_MSG(engines.back() != nullptr, "engine factory returned null");
+    REPRO_CHECK_MSG(engines.back()->lanes() == engines.front()->lanes(),
+                    "all worker engines must have the same lane count");
+  }
+
+  SharedRun run(s, scoring, options, engines.front()->lanes());
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options.threads));
+  for (int t = 0; t < options.threads; ++t)
+    threads.emplace_back([&run, &engines, t] { run.worker(*engines[static_cast<std::size_t>(t)]); });
+  for (auto& th : threads) th.join();
+
+  std::uint64_t cells = 0;
+  for (const auto& e : engines) cells += e->cells_computed();
+  return run.finish(timer.seconds(), cells);
+}
+
+}  // namespace repro::parallel

@@ -1,0 +1,65 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace repro::parallel {
+
+ThreadPool::ThreadPool(int threads) {
+  REPRO_CHECK(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  auto future = task.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    REPRO_CHECK_MSG(!stop_, "submit() on a stopped pool");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  std::atomic<int> next{0};
+  auto body = [&] {
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+  };
+  std::vector<std::future<void>> futures;
+  const int helpers = std::min(size(), n - 1);
+  futures.reserve(static_cast<std::size_t>(helpers));
+  for (int t = 0; t < helpers; ++t) futures.push_back(submit(body));
+  body();  // caller participates
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace repro::parallel

@@ -1,0 +1,47 @@
+// A small fixed-size thread pool.
+//
+// Used by tests and benches for auxiliary parallel work; the ParallelFinder
+// manages its own worker loop (the paper's dynamic scheduler needs richer
+// coordination than fire-and-forget tasks).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace repro::parallel {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; the future resolves when it completes (exceptions
+  /// propagate through the future).
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits; the calling
+  /// thread participates. Exceptions are rethrown on the caller.
+  void parallel_for(int n, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace repro::parallel

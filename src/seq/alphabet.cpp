@@ -1,0 +1,50 @@
+#include "seq/alphabet.hpp"
+
+#include <cctype>
+
+#include "util/check.hpp"
+
+namespace repro::seq {
+
+Alphabet::Alphabet(AlphabetKind kind, std::string letters, int core_size,
+                   char unknown)
+    : kind_(kind), letters_(std::move(letters)), core_size_(core_size) {
+  to_code_.fill(-1);
+  for (std::size_t i = 0; i < letters_.size(); ++i) {
+    const char c = letters_[i];
+    to_code_[static_cast<unsigned char>(c)] = static_cast<std::int8_t>(i);
+    to_code_[static_cast<unsigned char>(std::tolower(c))] =
+        static_cast<std::int8_t>(i);
+  }
+  unknown_ = encode(unknown);
+}
+
+const Alphabet& Alphabet::protein() {
+  // Conventional BLOSUM residue order.
+  static const Alphabet a(AlphabetKind::kProtein, "ARNDCQEGHILKMFPSTWYVBZX*", 20,
+                          'X');
+  return a;
+}
+
+const Alphabet& Alphabet::dna() {
+  static const Alphabet a(AlphabetKind::kDna, "ACGTN", 4, 'N');
+  return a;
+}
+
+bool Alphabet::valid(char c) const {
+  return to_code_[static_cast<unsigned char>(c)] >= 0;
+}
+
+std::uint8_t Alphabet::encode(char c) const {
+  const std::int8_t code = to_code_[static_cast<unsigned char>(c)];
+  REPRO_CHECK_MSG(code >= 0, "character '" << c << "' not in alphabet "
+                                           << letters_);
+  return static_cast<std::uint8_t>(code);
+}
+
+char Alphabet::decode(std::uint8_t code) const {
+  REPRO_CHECK_MSG(code < letters_.size(), "code " << int(code) << " out of range");
+  return letters_[code];
+}
+
+}  // namespace repro::seq

@@ -1,0 +1,77 @@
+#include "seq/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace repro::seq {
+
+std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& alphabet) {
+  std::vector<Sequence> records;
+  std::string name;
+  std::vector<std::uint8_t> codes;
+  bool in_record = false;
+
+  auto flush = [&] {
+    if (in_record) {
+      records.emplace_back(std::move(name), std::move(codes), alphabet);
+      name.clear();
+      codes = {};
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      in_record = true;
+      name = line.substr(1);
+      // Trim leading whitespace of the header.
+      const auto pos = name.find_first_not_of(" \t");
+      name = pos == std::string::npos ? std::string() : name.substr(pos);
+    } else {
+      REPRO_CHECK_MSG(in_record, "FASTA data before the first '>' header");
+      for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+        REPRO_CHECK_MSG(alphabet.valid(c), "invalid residue '"
+                                               << c << "' in record '" << name
+                                               << "'");
+        codes.push_back(alphabet.encode(c));
+      }
+    }
+  }
+  flush();
+  return records;
+}
+
+std::vector<Sequence> read_fasta_file(const std::filesystem::path& path,
+                                      const Alphabet& alphabet) {
+  std::ifstream in(path);
+  REPRO_CHECK_MSG(in.good(), "cannot open FASTA file " << path);
+  return read_fasta(in, alphabet);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& records,
+                 int width) {
+  REPRO_CHECK(width > 0);
+  for (const auto& rec : records) {
+    out << '>' << rec.name() << '\n';
+    const std::string s = rec.to_string();
+    for (std::size_t i = 0; i < s.size(); i += static_cast<std::size_t>(width))
+      out << s.substr(i, static_cast<std::size_t>(width)) << '\n';
+  }
+}
+
+void write_fasta_file(const std::filesystem::path& path,
+                      const std::vector<Sequence>& records, int width) {
+  std::ofstream out(path);
+  REPRO_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_fasta(out, records, width);
+  REPRO_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace repro::seq

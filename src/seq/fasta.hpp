@@ -1,0 +1,27 @@
+// FASTA input/output.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace repro::seq {
+
+/// Reads every record in a FASTA stream. Whitespace inside sequence data is
+/// ignored; characters outside `alphabet` throw with the offending record
+/// name. An empty stream yields an empty vector.
+std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& alphabet);
+
+std::vector<Sequence> read_fasta_file(const std::filesystem::path& path,
+                                      const Alphabet& alphabet);
+
+/// Writes records with lines wrapped at `width` residues.
+void write_fasta(std::ostream& out, const std::vector<Sequence>& records,
+                 int width = 70);
+
+void write_fasta_file(const std::filesystem::path& path,
+                      const std::vector<Sequence>& records, int width = 70);
+
+}  // namespace repro::seq

@@ -1,0 +1,189 @@
+#include "seq/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace repro::seq {
+namespace {
+
+using util::Rng;
+
+std::uint8_t random_residue(const Alphabet& a, Rng& rng) {
+  return static_cast<std::uint8_t>(rng.below(static_cast<std::uint64_t>(a.core_size())));
+}
+
+/// Different residue than `c`, uniformly from the core alphabet.
+std::uint8_t mutate_residue(const Alphabet& a, std::uint8_t c, Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(a.core_size());
+  auto r = static_cast<std::uint8_t>(rng.below(n - 1));
+  if (r >= c) ++r;
+  return r;
+}
+
+std::vector<std::uint8_t> random_codes(const Alphabet& a, int length, Rng& rng) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(length));
+  for (auto& c : out) c = random_residue(a, rng);
+  return out;
+}
+
+/// Derives one divergent copy of `unit`: point mutations leave `conservation`
+/// of positions intact; indel events insert or delete short runs.
+std::vector<std::uint8_t> mutate_copy(const Alphabet& a,
+                                      const std::vector<std::uint8_t>& unit,
+                                      const RepeatSpec& spec, Rng& rng) {
+  std::vector<std::uint8_t> out;
+  out.reserve(unit.size() + 8);
+  for (std::uint8_t c : unit) {
+    if (rng.uniform() < spec.indel_rate) {
+      const int len = static_cast<int>(rng.range(1, spec.max_indel));
+      if (rng.chance(0.5)) {
+        for (int k = 0; k < len; ++k) out.push_back(random_residue(a, rng));
+        out.push_back(c);
+      }
+      // Deletion: drop this residue (and implicitly at most one per event to
+      // keep copies near unit length).
+      continue;
+    }
+    out.push_back(rng.uniform() < spec.conservation ? c
+                                                    : mutate_residue(a, c, rng));
+  }
+  if (out.empty()) out.push_back(unit.empty() ? std::uint8_t{0} : unit[0]);
+  return out;
+}
+
+}  // namespace
+
+Sequence random_sequence(const Alphabet& alphabet, int length,
+                         std::uint64_t seed, std::string name) {
+  REPRO_CHECK(length >= 0);
+  Rng rng(seed);
+  return Sequence(std::move(name), random_codes(alphabet, length, rng), alphabet);
+}
+
+GeneratedSequence make_repeat_sequence(const Alphabet& alphabet,
+                                       int total_length, const RepeatSpec& spec,
+                                       std::uint64_t seed, std::string name) {
+  REPRO_CHECK(total_length > 0);
+  REPRO_CHECK(spec.unit_length > 0 && spec.copies >= 0);
+  REPRO_CHECK(spec.conservation >= 0.0 && spec.conservation <= 1.0);
+  REPRO_CHECK(spec.indel_rate >= 0.0 && spec.indel_rate < 1.0);
+  REPRO_CHECK(spec.spacer_min >= 0 && spec.spacer_min <= spec.spacer_max);
+
+  Rng rng(seed);
+  const std::vector<std::uint8_t> unit =
+      random_codes(alphabet, spec.unit_length, rng);
+
+  // Generate all copies first so we know how much background room remains.
+  std::vector<std::vector<std::uint8_t>> copies;
+  copies.reserve(static_cast<std::size_t>(spec.copies));
+  std::vector<int> spacers;
+  int repeat_total = 0;
+  for (int i = 0; i < spec.copies; ++i) {
+    copies.push_back(mutate_copy(alphabet, unit, spec, rng));
+    repeat_total += static_cast<int>(copies.back().size());
+    if (i + 1 < spec.copies) {
+      const int sp = static_cast<int>(rng.range(spec.spacer_min, spec.spacer_max));
+      spacers.push_back(sp);
+      repeat_total += spec.tandem ? sp : 0;
+    }
+  }
+
+  GeneratedSequence result{Sequence("", {}, alphabet), {}};
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(total_length));
+
+  if (spec.tandem) {
+    // Indel variance can push the block past the budget; shed trailing
+    // copies rather than fail (ground truth shrinks accordingly).
+    while (repeat_total > total_length && copies.size() > 1) {
+      repeat_total -= static_cast<int>(copies.back().size());
+      copies.pop_back();
+      if (!spacers.empty()) {
+        repeat_total -= spacers.back();
+        spacers.pop_back();
+      }
+    }
+    REPRO_CHECK_MSG(repeat_total <= total_length,
+                    "tandem repeat block (" << repeat_total
+                                            << ") exceeds total length "
+                                            << total_length);
+    const int background = total_length - repeat_total;
+    const int lead = background > 0
+                         ? static_cast<int>(rng.range(0, background))
+                         : 0;
+    auto bg = random_codes(alphabet, background, rng);
+    out.insert(out.end(), bg.begin(), bg.begin() + lead);
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+      const int begin = static_cast<int>(out.size());
+      out.insert(out.end(), copies[i].begin(), copies[i].end());
+      result.copies.push_back({begin, static_cast<int>(out.size())});
+      if (i < spacers.size()) {
+        for (int k = 0; k < spacers[i]; ++k)
+          out.push_back(random_residue(alphabet, rng));
+      }
+    }
+    out.insert(out.end(), bg.begin() + lead, bg.end());
+  } else {
+    // Interspersed: place copies at sorted random offsets into background.
+    int copies_len = 0;
+    for (const auto& c : copies) copies_len += static_cast<int>(c.size());
+    REPRO_CHECK_MSG(copies_len <= total_length,
+                    "repeat copies exceed total length");
+    const int background = total_length - copies_len;
+    auto bg = random_codes(alphabet, background, rng);
+    // Choose cut points in the background where copies are inserted.
+    std::vector<int> cuts(copies.size());
+    for (auto& c : cuts) c = static_cast<int>(rng.range(0, background));
+    std::sort(cuts.begin(), cuts.end());
+    int bg_pos = 0;
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+      out.insert(out.end(), bg.begin() + bg_pos, bg.begin() + cuts[i]);
+      bg_pos = cuts[i];
+      const int begin = static_cast<int>(out.size());
+      out.insert(out.end(), copies[i].begin(), copies[i].end());
+      result.copies.push_back({begin, static_cast<int>(out.size())});
+    }
+    out.insert(out.end(), bg.begin() + bg_pos, bg.end());
+  }
+
+  REPRO_CHECK(static_cast<int>(out.size()) == total_length);
+  result.sequence = Sequence(std::move(name), std::move(out), alphabet);
+  return result;
+}
+
+GeneratedSequence synthetic_titin(int length, std::uint64_t seed) {
+  REPRO_CHECK(length >= 100);
+  RepeatSpec spec;
+  // Full-size domains are ~95 residues (Ig/FN3); below ~500 residues scale
+  // the unit down so short test sequences still carry several copies.
+  spec.unit_length = std::min(95, std::max(20, length / 5));
+  // Domains cover ~85 % of titin; leave some background at the ends.
+  spec.copies =
+      std::max(2, static_cast<int>(length * 0.85) / (spec.unit_length + 6));
+  spec.conservation = 0.25;  // paper: 10-25 % of residues conserved
+  spec.indel_rate = 0.03;
+  spec.max_indel = 4;
+  spec.spacer_min = 0;
+  spec.spacer_max = 8;
+  spec.tandem = true;
+  return make_repeat_sequence(Alphabet::protein(), length, spec, seed,
+                              "synthetic-titin-" + std::to_string(length));
+}
+
+GeneratedSequence synthetic_dna_tandem(int length, int unit_length, int copies,
+                                       std::uint64_t seed) {
+  RepeatSpec spec;
+  spec.unit_length = unit_length;
+  spec.copies = copies;
+  spec.conservation = 0.85;
+  spec.indel_rate = 0.01;
+  spec.max_indel = 2;
+  spec.tandem = true;
+  return make_repeat_sequence(Alphabet::dna(), length, spec, seed,
+                              "synthetic-dna-tandem");
+}
+
+}  // namespace repro::seq

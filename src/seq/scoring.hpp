@@ -1,0 +1,88 @@
+// Exchange (substitution) matrices and gap penalty models.
+//
+// The paper's gap model (§2.1): every gap of length L costs
+// `open + L * extend`, subtracted from the alignment score. Its running
+// example uses match +2 / mismatch -1 / open 2 / extend 1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace repro::seq {
+
+/// Affine gap penalty: cost(L) = open + L * extend for a gap of length L >= 1.
+/// Both components are stored as positive numbers to subtract.
+struct GapPenalty {
+  int open = 10;
+  int extend = 1;
+
+  [[nodiscard]] int cost(int len) const { return open + len * extend; }
+};
+
+/// Symmetric residue-pair exchange matrix over one alphabet.
+class ScoreMatrix {
+ public:
+  /// Standard protein matrices (24-residue BLOSUM ordering, incl. B/Z/X/*).
+  static ScoreMatrix blosum62();
+  static ScoreMatrix blosum50();
+  static ScoreMatrix pam250();
+
+  /// Simple nucleotide matrix: `match` on equal core bases, `mismatch`
+  /// otherwise; N scores `mismatch` against everything including itself.
+  static ScoreMatrix dna(int match = 2, int mismatch = -1);
+
+  /// match/mismatch matrix over an arbitrary alphabet (the paper's example
+  /// metric is uniform(dna, 2, -1)).
+  static ScoreMatrix uniform(const Alphabet& alphabet, int match, int mismatch);
+
+  /// Parses an NCBI-format matrix (as distributed with BLAST): '#' comment
+  /// lines, a header row of residue letters, then one labelled row per
+  /// residue. File letters must belong to `alphabet`; alphabet residues the
+  /// file does not cover score `missing` against everything.
+  static ScoreMatrix from_text(std::istream& in, const Alphabet& alphabet,
+                               int missing = 0);
+
+  /// Writes the matrix back in NCBI format (round-trips with from_text).
+  void write_text(std::ostream& out) const;
+
+  [[nodiscard]] const Alphabet& alphabet() const { return *alphabet_; }
+  [[nodiscard]] int size() const { return n_; }
+
+  [[nodiscard]] int score(std::uint8_t a, std::uint8_t b) const {
+    return data_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) + b];
+  }
+
+  /// Row pointer for kernel-level lookup (codes of one residue vs all).
+  [[nodiscard]] const std::int16_t* row(std::uint8_t a) const {
+    return data_.data() + static_cast<std::size_t>(a) * static_cast<std::size_t>(n_);
+  }
+
+  /// Largest entry; bounds the per-pair score used in i16 overflow analysis.
+  [[nodiscard]] int max_score() const;
+
+  [[nodiscard]] bool symmetric() const;
+
+ private:
+  ScoreMatrix(const Alphabet& alphabet, std::vector<std::int16_t> data);
+
+  const Alphabet* alphabet_;
+  int n_;
+  std::vector<std::int16_t> data_;
+};
+
+/// Everything the alignment kernels need to score one sequence pair.
+struct Scoring {
+  ScoreMatrix matrix;
+  GapPenalty gap;
+
+  /// The paper's running-example metric (Fig. 2).
+  static Scoring paper_example();
+
+  /// Default protein scoring used throughout examples and benches.
+  static Scoring protein_default();
+};
+
+}  // namespace repro::seq

@@ -1,0 +1,37 @@
+#include "seq/sequence.hpp"
+
+#include "util/check.hpp"
+
+namespace repro::seq {
+
+Sequence::Sequence(std::string name, std::vector<std::uint8_t> codes,
+                   const Alphabet& alphabet)
+    : name_(std::move(name)), codes_(std::move(codes)), alphabet_(&alphabet) {
+  for (std::uint8_t c : codes_)
+    REPRO_CHECK_MSG(c < alphabet_->size(), "code out of range for alphabet");
+}
+
+Sequence Sequence::from_string(std::string name, std::string_view residues,
+                               const Alphabet& alphabet) {
+  std::vector<std::uint8_t> codes;
+  codes.reserve(residues.size());
+  for (char c : residues) codes.push_back(alphabet.encode(c));
+  return Sequence(std::move(name), std::move(codes), alphabet);
+}
+
+std::string Sequence::to_string() const {
+  std::string out;
+  out.reserve(codes_.size());
+  for (std::uint8_t c : codes_) out.push_back(alphabet_->decode(c));
+  return out;
+}
+
+Sequence Sequence::subsequence(int begin, int end) const {
+  REPRO_CHECK(begin >= 0 && begin <= end && end <= length());
+  std::vector<std::uint8_t> codes(codes_.begin() + begin, codes_.begin() + end);
+  return Sequence(name_ + "[" + std::to_string(begin) + ":" +
+                      std::to_string(end) + ")",
+                  std::move(codes), *alphabet_);
+}
+
+}  // namespace repro::seq

@@ -1,0 +1,49 @@
+// Encoded biological sequences.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace repro::seq {
+
+/// A named, alphabet-encoded sequence. Residues are stored as dense codes;
+/// positions are 0-based throughout the API (the paper's prose is 1-based —
+/// the mapping is documented wherever it matters).
+class Sequence {
+ public:
+  Sequence(std::string name, std::vector<std::uint8_t> codes,
+           const Alphabet& alphabet);
+
+  /// Encodes `residues` using `alphabet`; throws on invalid characters.
+  static Sequence from_string(std::string name, std::string_view residues,
+                              const Alphabet& alphabet);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Alphabet& alphabet() const { return *alphabet_; }
+  [[nodiscard]] int length() const { return static_cast<int>(codes_.size()); }
+  [[nodiscard]] bool empty() const { return codes_.empty(); }
+
+  [[nodiscard]] std::span<const std::uint8_t> codes() const { return codes_; }
+  [[nodiscard]] std::uint8_t operator[](int i) const {
+    return codes_[static_cast<std::size_t>(i)];
+  }
+
+  /// Decodes back to a residue string.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Subsequence [begin, end) as a new Sequence (used by examples/tests; the
+  /// alignment kernels take spans and never copy).
+  [[nodiscard]] Sequence subsequence(int begin, int end) const;
+
+ private:
+  std::string name_;
+  std::vector<std::uint8_t> codes_;
+  const Alphabet* alphabet_;
+};
+
+}  // namespace repro::seq

@@ -1,0 +1,43 @@
+// Cache-line / SIMD-register aligned storage.
+//
+// The interleaved SIMD matrices (Fig. 7 of the paper) require 16-byte
+// (SSE2) or 32-byte (AVX2) aligned rows; we align everything to 64 bytes so
+// rows never straddle cache lines, which also serves the paper's
+// cache-awareness discussion (§4.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace repro::util {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Minimal std::allocator replacement with 64-byte alignment.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(kCacheLine,
+                                 ((n * sizeof(T) + kCacheLine - 1) / kCacheLine) *
+                                     kCacheLine);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace repro::util

@@ -1,0 +1,84 @@
+#include "util/args.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace repro::util {
+
+Args::Args(int argc, char** argv, std::map<std::string, std::string> spec)
+    : spec_(std::move(spec)) {
+  spec_.emplace("help", "print this help text");
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    REPRO_CHECK_MSG(arg.rfind("--", 0) == 0, "unexpected argument: " << arg);
+    arg = arg.substr(2);
+    std::string key = arg;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    REPRO_CHECK_MSG(spec_.contains(key), "unknown option --" << key);
+    if (!has_value && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+      has_value = true;
+    }
+    values_[key] = has_value ? value : "true";
+  }
+  if (values_.contains("help")) {
+    help_ = true;
+    std::cout << usage(argv[0] != nullptr ? argv[0] : "program");
+  }
+}
+
+bool Args::has(const std::string& key) const { return values_.contains(key); }
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Args::get_flag(const std::string& key) const {
+  auto it = values_.find(key);
+  return it != values_.end() && it->second != "false" && it->second != "0";
+}
+
+std::vector<std::int64_t> Args::get_int_list(
+    const std::string& key, std::vector<std::int64_t> fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  REPRO_CHECK_MSG(!out.empty(), "empty list for --" << key);
+  return out;
+}
+
+std::string Args::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [k, help] : spec_) os << "  --" << k << "  " << help << '\n';
+  return os.str();
+}
+
+}  // namespace repro::util

@@ -1,0 +1,44 @@
+// Minimal command-line argument parser shared by benches and examples.
+//
+// Supported forms: --key=value, --key value, and boolean --flag.
+// Unknown arguments are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace repro::util {
+
+class Args {
+ public:
+  /// `spec` documents recognised options: name -> help text. Names are given
+  /// without the leading dashes. Every option not in the spec is rejected.
+  Args(int argc, char** argv, std::map<std::string, std::string> spec);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+
+  /// Parses "a,b,c" into integers; returns fallback when the key is absent.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& key, std::vector<std::int64_t> fallback) const;
+
+  /// True when --help was passed; usage() has already been printed.
+  [[nodiscard]] bool help_requested() const { return help_; }
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+}  // namespace repro::util

@@ -1,0 +1,45 @@
+// Lightweight runtime checking.
+//
+// REPRO_CHECK is always on and is used to validate public-API preconditions
+// and cross-module invariants; REPRO_DCHECK compiles away in release builds
+// and guards hot inner-loop invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace repro::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace repro::util
+
+#define REPRO_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::repro::util::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define REPRO_CHECK_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream repro_check_os_;                                     \
+      repro_check_os_ << msg;                                                 \
+      ::repro::util::check_failed(#expr, __FILE__, __LINE__,                  \
+                                  repro_check_os_.str());                     \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define REPRO_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define REPRO_DCHECK(expr) REPRO_CHECK(expr)
+#endif

@@ -1,0 +1,129 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+#include "util/check.hpp"
+
+namespace repro::util {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (stack_.empty()) return;
+  if (pending_key_) return;  // the value belongs to the written key
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  REPRO_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                  "end_object without matching begin_object");
+  REPRO_CHECK_MSG(!pending_key_, "dangling key at end_object");
+  out_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  REPRO_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                  "end_array without matching begin_array");
+  out_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  REPRO_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                  "key() outside an object");
+  REPRO_CHECK_MSG(!pending_key_, "two keys in a row");
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+  out_ << '"' << escape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_if_needed();
+  pending_key_ = false;
+  REPRO_CHECK_MSG(std::isfinite(v), "JSON cannot represent non-finite numbers");
+  out_ << std::setprecision(12) << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  REPRO_CHECK_MSG(stack_.empty(), "unterminated JSON containers");
+  return out_.str();
+}
+
+}  // namespace repro::util

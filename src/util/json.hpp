@@ -1,0 +1,57 @@
+// Minimal JSON emission for the command-line tool's machine-readable output.
+//
+// Writer-only (the library never consumes JSON); handles escaping, nesting
+// and comma placement. Values are written through overloads; structure via
+// RAII-free begin/end calls validated with a small stack.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes the key of the next value; only valid inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Finished document; throws if containers are still open.
+  [[nodiscard]] std::string str() const;
+
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void comma_if_needed();
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;   // per frame: no element written yet
+  bool pending_key_ = false;  // a key was written, a value must follow
+};
+
+}  // namespace repro::util

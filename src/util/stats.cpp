@@ -1,0 +1,91 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace repro::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  REPRO_CHECK(!xs.empty());
+  REPRO_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  REPRO_CHECK(xs.size() == ys.size());
+  REPRO_CHECK(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  REPRO_CHECK_MSG(denom != 0.0, "degenerate x values in linear fit");
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+LinearFit fit_loglog(std::span<const double> ns, std::span<const double> ts) {
+  REPRO_CHECK(ns.size() == ts.size());
+  std::vector<double> lx(ns.size()), ly(ts.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    REPRO_CHECK_MSG(ns[i] > 0.0 && ts[i] > 0.0, "log-log fit needs positive data");
+    lx[i] = std::log(ns[i]);
+    ly[i] = std::log(ts[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+double geometric_mean(std::span<const double> xs) {
+  REPRO_CHECK(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) {
+    REPRO_CHECK_MSG(x > 0.0, "geometric mean needs positive data");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace repro::util

@@ -1,0 +1,43 @@
+// Small statistics toolkit for the benchmark harness: summary statistics,
+// least-squares fits, and log–log exponent estimation (used to verify the
+// O(n^4) vs O(n^3) growth claims of Table 1 empirically).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace repro::util {
+
+/// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+};
+
+/// Computes summary statistics; an empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> xs);
+
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+/// Least-squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits t = c * n^k by regressing log t on log n; returns k (the empirical
+/// complexity exponent) in `slope` and log c in `intercept`.
+LinearFit fit_loglog(std::span<const double> ns, std::span<const double> ts);
+
+/// Geometric mean; all inputs must be positive.
+double geometric_mean(std::span<const double> xs);
+
+}  // namespace repro::util

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace repro::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  REPRO_CHECK(!headers_.empty());
+}
+
+void Table::set_precision(int digits) {
+  REPRO_CHECK(digits >= 0 && digits <= 12);
+  precision_ = digits;
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  REPRO_CHECK_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, table has "
+                             << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& c) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<long long>(&c)) {
+    os << *i;
+  } else {
+    os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render(row[c]));
+      width[c] = std::max(width[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells,
+                       const std::vector<Cell>* row) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool left =
+          row == nullptr || std::holds_alternative<std::string>((*row)[c]);
+      os << (left ? std::left : std::right) << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " | ";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_, nullptr);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << '|';
+  os << " \n";
+  for (std::size_t r = 0; r < rendered.size(); ++r) print_row(rendered[r], &rows_[r]);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << render(row[c]) << (c + 1 < row.size() ? "," : "\n");
+  }
+}
+
+}  // namespace repro::util

@@ -1,0 +1,42 @@
+// Fixed-width table rendering for benchmark output.
+//
+// Every bench binary prints paper-style tables (the same rows/series the
+// paper reports) through this printer so output stays uniform and greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace repro::util {
+
+/// Collects rows of heterogeneous cells and renders an aligned ASCII table.
+class Table {
+ public:
+  using Cell = std::variant<std::string, long long, double>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of decimal places used to render double cells (default 2).
+  void set_precision(int digits);
+
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment: strings left, numbers right.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering for machine consumption.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string render(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 2;
+};
+
+}  // namespace repro::util

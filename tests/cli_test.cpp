@@ -1,0 +1,138 @@
+// End-to-end tests of the reprofind CLI binary (path injected by CMake).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef REPRO_CLI_PATH
+#error "REPRO_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int status = -1;
+  std::string out;
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(REPRO_CLI_PATH) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0)
+    result.out.append(buffer.data(), n);
+  result.status = pclose(pipe);
+  return result;
+}
+
+std::string temp_fasta() {
+  const auto path =
+      std::filesystem::temp_directory_path() / "reprofind_cli_test.fa";
+  return path.string();
+}
+
+TEST(Cli, InfoListsEngines) {
+  const RunResult r = run_cli("info");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_NE(r.out.find("scalar"), std::string::npos);
+  EXPECT_NE(r.out.find("default engine"), std::string::npos);
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const RunResult r = run_cli("");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const RunResult r = run_cli("frobnicate");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.out.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenerateThenFindTextRoundTrip) {
+  const std::string fasta = temp_fasta();
+  const RunResult gen = run_cli(
+      "generate --kind dna --length 400 --unit 15 --copies 8 --out " + fasta);
+  ASSERT_EQ(gen.status, 0) << gen.out;
+  ASSERT_TRUE(std::filesystem::exists(fasta));
+
+  const RunResult find = run_cli("find --fasta " + fasta +
+                                 " --alphabet dna --tops 6 --repeats "
+                                 "--min-score 16");
+  EXPECT_EQ(find.status, 0) << find.out;
+  EXPECT_NE(find.out.find("top alignments"), std::string::npos);
+  EXPECT_NE(find.out.find("repeat region"), std::string::npos);
+  EXPECT_NE(find.out.find("consensus"), std::string::npos);
+}
+
+TEST(Cli, JsonOutputIsWellFormedish) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind dna --length 300 --unit 12 --copies 6 "
+                    "--out " + fasta).status, 0);
+  const RunResult r = run_cli("find --fasta " + fasta +
+                              " --alphabet dna --tops 3 --format json");
+  EXPECT_EQ(r.status, 0) << r.out;
+  const auto open_braces = std::count(r.out.begin(), r.out.end(), '{');
+  const auto close_braces = std::count(r.out.begin(), r.out.end(), '}');
+  EXPECT_GT(open_braces, 0);
+  EXPECT_EQ(open_braces, close_braces);
+  EXPECT_NE(r.out.find("\"top_alignments\""), std::string::npos);
+}
+
+TEST(Cli, CsvOutputHasHeaderAndRows) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind dna --length 300 --unit 12 --copies 6 "
+                    "--out " + fasta).status, 0);
+  const RunResult r = run_cli("find --fasta " + fasta +
+                              " --alphabet dna --tops 2 --format csv");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_NE(r.out.find("sequence,top,r,score"), std::string::npos);
+  EXPECT_NE(r.out.find(",1,"), std::string::npos);
+}
+
+TEST(Cli, LowMemoryAndLinearTracebackFlags) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind titin --length 300 --out " + fasta).status, 0);
+  const RunResult r = run_cli("find --fasta " + fasta +
+                              " --tops 4 --low-memory --linear-traceback");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_NE(r.out.find("top alignments"), std::string::npos);
+}
+
+TEST(Cli, ParallelThreadsAgreeWithSequential) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind titin --length 260 --out " + fasta).status, 0);
+  const RunResult seq = run_cli("find --fasta " + fasta +
+                                " --tops 5 --engine scalar --format csv");
+  const RunResult par = run_cli("find --fasta " + fasta +
+                                " --tops 5 --engine scalar --threads 3 "
+                                "--format csv");
+  EXPECT_EQ(seq.status, 0);
+  EXPECT_EQ(par.status, 0);
+  EXPECT_EQ(seq.out, par.out);
+}
+
+TEST(Cli, MissingFastaFails) {
+  const RunResult r = run_cli("find --tops 3");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.out.find("--fasta is required"), std::string::npos);
+}
+
+TEST(Cli, BadEngineNameFails) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind dna --length 200 --unit 10 --copies 5 "
+                    "--out " + fasta).status, 0);
+  const RunResult r =
+      run_cli("find --fasta " + fasta + " --alphabet dna --engine warp9");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.out.find("unknown engine"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Repeat delineation (Repro phase 2) on ground-truth synthetic repeats,
+// including the paper's future-work unit-length filter.
+#include <gtest/gtest.h>
+
+#include "core/delineate.hpp"
+#include "core/top_alignment_finder.hpp"
+#include "seq/generator.hpp"
+
+namespace repro::core {
+namespace {
+
+using seq::Scoring;
+
+TEST(SelectPeriod, EmptyInput) { EXPECT_EQ(select_period({}), 0); }
+
+TEST(SelectPeriod, SingleCluster) {
+  const std::vector<int> offsets{20, 21, 19, 20, 20};
+  EXPECT_NEAR(select_period(offsets), 20, 1);
+}
+
+TEST(SelectPeriod, PrefersShortestExplainingPeriod) {
+  // The paper's AACAAC example: offsets at 3, 6, 9 should yield period 3,
+  // not 6 or 9 — four AAC beat two AACAAC.
+  std::vector<int> offsets;
+  for (int k = 0; k < 10; ++k) {
+    offsets.push_back(3);
+    offsets.push_back(6);
+    offsets.push_back(9);
+  }
+  EXPECT_EQ(select_period(offsets), 3);
+}
+
+TEST(SelectPeriod, IgnoresHarmonicsWithNoise) {
+  std::vector<int> offsets;
+  for (int k = 0; k < 20; ++k) {
+    offsets.push_back(12 + (k % 3) - 1);  // 11, 12, 13
+    offsets.push_back(24 + (k % 2));      // 24, 25
+  }
+  const int p = select_period(offsets);
+  EXPECT_NEAR(p, 12, 2);
+}
+
+TEST(Delineate, RecoversTandemDnaRepeat) {
+  const auto g = seq::synthetic_dna_tandem(400, 20, 8, 11);
+  FinderOptions opt;
+  opt.num_top_alignments = 12;
+  const auto res = find_top_alignments(g.sequence, Scoring::paper_example(), opt);
+  const auto regions = delineate_repeats(g.sequence, res.tops);
+  ASSERT_FALSE(regions.empty());
+
+  // The main region should cover the implanted block and report ~20 period.
+  const int truth_begin = g.copies.front().begin;
+  const int truth_end = g.copies.back().end;
+  const RepeatRegion* main = nullptr;
+  for (const auto& region : regions)
+    if (main == nullptr || region.support > main->support) main = &region;
+  ASSERT_NE(main, nullptr);
+  EXPECT_LE(main->begin, truth_begin + 25);
+  EXPECT_GE(main->end, truth_end - 25);
+  EXPECT_NEAR(main->period, 20, 6);
+  EXPECT_GE(main->copies, 4);
+}
+
+TEST(Delineate, RecoversProteinDomains) {
+  // Moderately divergent protein domains: recoverable ground truth.
+  seq::RepeatSpec spec;
+  spec.unit_length = 60;
+  spec.copies = 8;
+  spec.conservation = 0.45;
+  spec.indel_rate = 0.02;
+  spec.max_indel = 3;
+  const auto g = seq::make_repeat_sequence(seq::Alphabet::protein(), 560, spec, 12);
+  FinderOptions opt;
+  opt.num_top_alignments = 15;
+  const auto res =
+      find_top_alignments(g.sequence, Scoring::protein_default(), opt);
+  const auto regions = delineate_repeats(g.sequence, res.tops);
+  ASSERT_FALSE(regions.empty());
+  const RepeatRegion* main = nullptr;
+  for (const auto& region : regions)
+    if (main == nullptr || region.support > main->support) main = &region;
+  // Unit length 60; accept the band or its first harmonic.
+  const int p = main->period;
+  const bool plausible = (p >= 45 && p <= 75) || (p >= 105 && p <= 135);
+  EXPECT_TRUE(plausible) << "period " << p;
+}
+
+TEST(Delineate, HardDivergentTitinStillYieldsRegions) {
+  // The paper's own caveat: at 10-25 % conservation, phase-2 delineation
+  // "needs some changes to increase the sensitivity for long sequences".
+  // Our reference implementation matches that limitation: regions are
+  // found, but the period estimate is not asserted.
+  const auto g = seq::synthetic_titin(600, 12);
+  FinderOptions opt;
+  opt.num_top_alignments = 15;
+  const auto res =
+      find_top_alignments(g.sequence, Scoring::protein_default(), opt);
+  const auto regions = delineate_repeats(g.sequence, res.tops);
+  ASSERT_FALSE(regions.empty());
+  int covered = 0;
+  for (const auto& region : regions) covered += region.end - region.begin;
+  EXPECT_GT(covered, g.sequence.length() / 3);
+}
+
+TEST(Delineate, NoRepeatsInRandomSequence) {
+  const auto s = seq::random_sequence(seq::Alphabet::protein(), 300, 9);
+  FinderOptions opt;
+  opt.num_top_alignments = 10;
+  opt.min_score = 30;  // random proteins rarely reach this self-similarity
+  const auto res = find_top_alignments(s, Scoring::protein_default(), opt);
+  const auto regions = delineate_repeats(s, res.tops);
+  EXPECT_TRUE(regions.empty());
+}
+
+TEST(Delineate, EmptyTopsGiveNoRegions) {
+  const auto s = seq::random_sequence(seq::Alphabet::dna(), 100, 2);
+  EXPECT_TRUE(delineate_repeats(s, {}).empty());
+}
+
+}  // namespace
+}  // namespace repro::core

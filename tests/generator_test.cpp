@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "seq/generator.hpp"
+
+namespace repro::seq {
+namespace {
+
+TEST(Generator, RandomSequenceDeterministic) {
+  const auto a = random_sequence(Alphabet::protein(), 200, 7);
+  const auto b = random_sequence(Alphabet::protein(), 200, 7);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  const auto c = random_sequence(Alphabet::protein(), 200, 8);
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(Generator, RandomSequenceUsesCoreAlphabetOnly) {
+  const auto s = random_sequence(Alphabet::dna(), 500, 3);
+  for (int i = 0; i < s.length(); ++i)
+    EXPECT_LT(s[i], Alphabet::dna().core_size());
+}
+
+TEST(Generator, RepeatSequenceExactLength) {
+  RepeatSpec spec;
+  spec.unit_length = 20;
+  spec.copies = 5;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto g = make_repeat_sequence(Alphabet::protein(), 300, spec, seed);
+    EXPECT_EQ(g.sequence.length(), 300);
+    EXPECT_EQ(g.copies.size(), 5u);
+  }
+}
+
+TEST(Generator, CopiesAreOrderedAndInBounds) {
+  RepeatSpec spec;
+  spec.unit_length = 30;
+  spec.copies = 6;
+  spec.spacer_min = 2;
+  spec.spacer_max = 10;
+  const auto g = make_repeat_sequence(Alphabet::protein(), 400, spec, 11);
+  int prev_end = 0;
+  for (const auto& c : g.copies) {
+    EXPECT_GE(c.begin, prev_end);
+    EXPECT_LT(c.begin, c.end);
+    EXPECT_LE(c.end, g.sequence.length());
+    prev_end = c.end;
+  }
+}
+
+TEST(Generator, InterspersedMode) {
+  RepeatSpec spec;
+  spec.unit_length = 25;
+  spec.copies = 4;
+  spec.tandem = false;
+  const auto g = make_repeat_sequence(Alphabet::protein(), 500, spec, 13);
+  EXPECT_EQ(g.sequence.length(), 500);
+  EXPECT_EQ(g.copies.size(), 4u);
+  int prev_end = 0;
+  for (const auto& c : g.copies) {
+    EXPECT_GE(c.begin, prev_end);
+    prev_end = c.end;
+  }
+}
+
+TEST(Generator, ConservationControlsIdentity) {
+  // With full conservation and no indels every copy equals the unit.
+  RepeatSpec spec;
+  spec.unit_length = 15;
+  spec.copies = 4;
+  spec.conservation = 1.0;
+  spec.indel_rate = 0.0;
+  const auto g = make_repeat_sequence(Alphabet::dna(), 120, spec, 5);
+  std::string first;
+  for (const auto& c : g.copies) {
+    const auto str = g.sequence.subsequence(c.begin, c.end).to_string();
+    if (first.empty()) first = str;
+    EXPECT_EQ(str, first);
+    EXPECT_EQ(static_cast<int>(str.size()), 15);
+  }
+}
+
+TEST(Generator, LowConservationDiverges) {
+  RepeatSpec spec;
+  spec.unit_length = 50;
+  spec.copies = 2;
+  spec.conservation = 0.2;
+  spec.indel_rate = 0.0;
+  const auto g = make_repeat_sequence(Alphabet::protein(), 150, spec, 17);
+  const auto a = g.sequence.subsequence(g.copies[0].begin, g.copies[0].end).to_string();
+  const auto b = g.sequence.subsequence(g.copies[1].begin, g.copies[1].end).to_string();
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += a[i] == b[i];
+  // Roughly conservation^2 + noise; must be far from identical.
+  EXPECT_LT(same, 30);
+  EXPECT_GT(same, 0);
+}
+
+TEST(Generator, SyntheticTitinShape) {
+  const auto g = synthetic_titin(2000, 42);
+  EXPECT_EQ(g.sequence.length(), 2000);
+  EXPECT_GT(g.copies.size(), 10u);  // ~95-residue domains over 90 % of 2000
+  EXPECT_EQ(&g.sequence.alphabet(), &Alphabet::protein());
+  // Deterministic.
+  const auto h = synthetic_titin(2000, 42);
+  EXPECT_EQ(g.sequence.to_string(), h.sequence.to_string());
+}
+
+TEST(Generator, SyntheticDnaTandem) {
+  const auto g = synthetic_dna_tandem(600, 12, 8, 3);
+  EXPECT_EQ(g.sequence.length(), 600);
+  EXPECT_EQ(g.copies.size(), 8u);
+  EXPECT_EQ(&g.sequence.alphabet(), &Alphabet::dna());
+}
+
+TEST(Generator, TandemShedsCopiesWhenOverBudget) {
+  // A tandem block larger than the budget sheds trailing copies instead of
+  // failing (the ground truth shrinks with it).
+  RepeatSpec spec;
+  spec.unit_length = 100;
+  spec.copies = 10;
+  const auto g = make_repeat_sequence(Alphabet::dna(), 250, spec, 1);
+  EXPECT_EQ(g.sequence.length(), 250);
+  EXPECT_LT(g.copies.size(), 10u);
+  EXPECT_GE(g.copies.size(), 1u);
+}
+
+TEST(Generator, RejectsImpossibleSpecs) {
+  RepeatSpec spec;
+  spec.unit_length = 100;
+  spec.copies = 10;
+  spec.tandem = false;  // interspersed mode cannot shed copies
+  EXPECT_THROW(make_repeat_sequence(Alphabet::dna(), 200, spec, 1),
+               std::logic_error);
+  RepeatSpec bad;
+  bad.conservation = 1.5;
+  EXPECT_THROW(make_repeat_sequence(Alphabet::dna(), 200, bad, 1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace repro::seq

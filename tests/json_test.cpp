@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace repro::util {
+namespace {
+
+TEST(Json, EmptyObjectAndArray) {
+  EXPECT_EQ(JsonWriter().begin_object().end_object().str(), "{}");
+  EXPECT_EQ(JsonWriter().begin_array().end_array().str(), "[]");
+}
+
+TEST(Json, KeyValuePairs) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "titin");
+  w.kv("length", 34350);
+  w.kv("score", 2.5);
+  w.kv("ok", true);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"titin","length":34350,"score":2.5,"ok":true})");
+}
+
+TEST(Json, NestedContainersAndCommas) {
+  JsonWriter w;
+  w.begin_array();
+  w.begin_object().kv("a", 1).end_object();
+  w.begin_object().kv("b", 2).end_object();
+  w.value(3);
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"a":1},{"b":2},3])");
+}
+
+TEST(Json, ArrayInsideObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("xs").begin_array().value(1).value(2).end_array();
+  w.kv("tail", "z");
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2],"tail":"z"})");
+}
+
+TEST(Json, Escaping) {
+  JsonWriter w;
+  w.begin_object().kv("k\"1", "a\\b\nc\t").end_object();
+  EXPECT_EQ(w.str(), "{\"k\\\"1\":\"a\\\\b\\nc\\t\"}");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, StructureErrors) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // keys only in objects
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), std::logic_error);  // unterminated
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.kv("x", 1.0 / 0.0), std::logic_error);  // non-finite
+  }
+}
+
+}  // namespace
+}  // namespace repro::util

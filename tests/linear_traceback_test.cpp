@@ -1,0 +1,181 @@
+// Linear-memory traceback: must reproduce the full-matrix traceback's score,
+// end cell, validity and override avoidance on every input; the pair path
+// may differ only among co-optimal alternatives.
+#include <gtest/gtest.h>
+
+#include "align/engine.hpp"
+#include "align/linear_traceback.hpp"
+#include "align/override_triangle.hpp"
+#include "core/top_alignment_finder.hpp"
+#include "core/verify.hpp"
+#include "test_support.hpp"
+
+namespace repro::align {
+namespace {
+
+using seq::Alphabet;
+using seq::Scoring;
+
+core::TopAlignment as_top(const Traceback& tb) {
+  core::TopAlignment top;
+  top.r = tb.r;
+  top.score = tb.score;
+  top.end_x = tb.end_x;
+  top.pairs = tb.pairs;
+  return top;
+}
+
+/// Full structural comparison against the reference traceback.
+void expect_equivalent(const seq::Sequence& s, int r, const Scoring& scoring,
+                       const OverrideTriangle* tri,
+                       const std::set<std::pair<int, int>>* overridden) {
+  const GroupJob job = testing::make_job(s, r, scoring, tri);
+  const Traceback full = traceback_best(job);
+  const Traceback linear = traceback_best_linear(job);
+  EXPECT_EQ(linear.score, full.score) << "r=" << r;
+  EXPECT_EQ(linear.end_x, full.end_x) << "r=" << r;
+  // The path itself may be a different co-optimal one; its own invariants
+  // must hold exactly.
+  EXPECT_EQ(core::score_from_pairs(as_top(linear), s, scoring), linear.score);
+  EXPECT_EQ(linear.pairs.back().first, r - 1);
+  EXPECT_EQ(linear.pairs.back().second, r + linear.end_x - 1);
+  if (overridden != nullptr) {
+    for (const auto& p : linear.pairs)
+      EXPECT_FALSE(overridden->contains(p))
+          << "overridden pair (" << p.first << "," << p.second << ") on path";
+  }
+}
+
+TEST(LinearTraceback, PaperFig2) {
+  const auto s =
+      seq::Sequence::from_string("fig2", "ATTGCGACTTACAGA", Alphabet::dna());
+  const Scoring scoring = Scoring::paper_example();
+  const Traceback tb =
+      traceback_best_linear(testing::make_job(s, 7, scoring));
+  EXPECT_EQ(tb.score, 6);
+  EXPECT_EQ(tb.end_x, 8);
+  EXPECT_EQ(core::score_from_pairs(as_top(tb), s, scoring), 6);
+}
+
+TEST(LinearTraceback, MatchesFullMatrixOnRandomDna) {
+  util::Rng rng(606);
+  const Scoring scoring = Scoring::paper_example();
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto g = seq::synthetic_dna_tandem(
+        60 + static_cast<int>(rng.below(80)), 9, 5, 7000 + iter);
+    const int m = g.sequence.length();
+    const int r =
+        m / 4 + static_cast<int>(rng.below(static_cast<std::uint64_t>(m / 2)));
+    expect_equivalent(g.sequence, r, scoring, nullptr, nullptr);
+  }
+}
+
+TEST(LinearTraceback, MatchesFullMatrixOnProtein) {
+  util::Rng rng(707);
+  const Scoring scoring = Scoring::protein_default();
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto g = seq::synthetic_titin(
+        150 + static_cast<int>(rng.below(150)), 8000 + iter);
+    const int m = g.sequence.length();
+    const int r =
+        m / 4 + static_cast<int>(rng.below(static_cast<std::uint64_t>(m / 2)));
+    expect_equivalent(g.sequence, r, scoring, nullptr, nullptr);
+  }
+}
+
+TEST(LinearTraceback, RespectsOverrides) {
+  util::Rng rng(808);
+  const Scoring scoring = Scoring::paper_example();
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto g = seq::synthetic_dna_tandem(120, 10, 7, 9000 + iter);
+    const int m = g.sequence.length();
+    OverrideTriangle tri(m);
+    const auto overridden = testing::random_overrides(m, 2 * m, rng, &tri);
+    const int r = m / 2;
+    const auto engine = make_engine(EngineKind::kScalar);
+    const auto row =
+        engine->align_one(testing::make_job(g.sequence, r, scoring, &tri));
+    if (find_best_end(row).score <= 0) continue;
+    expect_equivalent(g.sequence, r, scoring, &tri, &overridden);
+  }
+}
+
+TEST(LinearTraceback, ShadowRejectionViaOriginalRow) {
+  // Override the best alignment's own pairs and re-trace with the stored
+  // original row: both tracebacks must pick the same (valid) end cell.
+  const auto g = seq::synthetic_dna_tandem(140, 12, 6, 77);
+  const auto& s = g.sequence;
+  const Scoring scoring = Scoring::paper_example();
+  const int r = s.length() / 2;
+  const auto engine = make_engine(EngineKind::kScalar);
+  const auto original = engine->align_one(testing::make_job(s, r, scoring));
+  const Traceback first = traceback_best(testing::make_job(s, r, scoring));
+
+  OverrideTriangle tri(s.length());
+  for (const auto& [i, j] : first.pairs) tri.set(i, j);
+  const auto realigned =
+      engine->align_one(testing::make_job(s, r, scoring, &tri));
+  if (find_best_end(realigned, std::span<const Score>(original)).score <= 0)
+    GTEST_SKIP() << "everything shadowed on this seed";
+
+  const GroupJob job = testing::make_job(s, r, scoring, &tri);
+  const Traceback full =
+      traceback_best(job, std::span<const Score>(original));
+  const Traceback linear =
+      traceback_best_linear(job, std::span<const Score>(original));
+  EXPECT_EQ(linear.score, full.score);
+  EXPECT_EQ(linear.end_x, full.end_x);
+}
+
+TEST(LinearTraceback, DeepRecursionOnLargeRectangle) {
+  // A large span forces many checkpoint levels; memory stays linear while
+  // the result matches the full-matrix walk's score.
+  const auto g = seq::synthetic_titin(1500, 99);
+  const Scoring scoring = Scoring::protein_default();
+  expect_equivalent(g.sequence, 750, scoring, nullptr, nullptr);
+}
+
+TEST(LinearTraceback, FinderModeProducesValidResults) {
+  const auto g = seq::synthetic_titin(300, 41);
+  const Scoring scoring = Scoring::protein_default();
+  core::FinderOptions full;
+  full.num_top_alignments = 8;
+  core::FinderOptions linear = full;
+  linear.traceback = core::TracebackMode::kLinearSpace;
+
+  const auto e1 = make_engine(EngineKind::kScalar);
+  const auto e2 = make_engine(EngineKind::kScalar);
+  const auto a = core::find_top_alignments(g.sequence, scoring, full, *e1);
+  const auto b = core::find_top_alignments(g.sequence, scoring, linear, *e2);
+  core::validate_tops(b.tops, g.sequence, scoring);
+  ASSERT_FALSE(b.tops.empty());
+  // The first acceptance is co-optimal-path-independent in score/end.
+  EXPECT_EQ(a.tops[0].score, b.tops[0].score);
+  EXPECT_EQ(a.tops[0].r, b.tops[0].r);
+  EXPECT_EQ(a.tops[0].end_x, b.tops[0].end_x);
+  EXPECT_EQ(a.tops.size(), b.tops.size());
+}
+
+TEST(LinearTraceback, FinderModeComposesWithLowMemory) {
+  // Linear traceback + recompute-rows: the fully linear-memory pipeline.
+  const auto g = seq::synthetic_dna_tandem(200, 14, 8, 51);
+  const Scoring scoring = Scoring::paper_example();
+  core::FinderOptions opt;
+  opt.num_top_alignments = 6;
+  opt.memory = core::MemoryMode::kRecomputeRows;
+  opt.traceback = core::TracebackMode::kLinearSpace;
+  const auto engine = make_engine(EngineKind::kSimd8Generic);
+  const auto res = core::find_top_alignments(g.sequence, scoring, opt, *engine);
+  EXPECT_EQ(res.tops.size(), 6u);
+  core::validate_tops(res.tops, g.sequence, scoring);
+}
+
+TEST(LinearTraceback, ThrowsWithoutPositiveEnd) {
+  const auto s = seq::Sequence::from_string("x", "AAAATTTT", Alphabet::dna());
+  EXPECT_THROW(
+      traceback_best_linear(testing::make_job(s, 4, Scoring::paper_example())),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace repro::align

@@ -1,0 +1,166 @@
+// Shared-memory finder (§4.2): identical results for every thread count,
+// determinism across repeats, and the thread pool itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/top_alignment_finder.hpp"
+#include "core/verify.hpp"
+#include "parallel/parallel_finder.hpp"
+#include "parallel/thread_pool.hpp"
+#include "seq/generator.hpp"
+
+namespace repro::parallel {
+namespace {
+
+using core::FinderOptions;
+using seq::Scoring;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i)
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&hits](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+class ParallelFinderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelFinderTest, MatchesSequentialForAnyThreadCount) {
+  const int threads = GetParam();
+  const auto g = seq::synthetic_titin(280, 55);
+  FinderOptions opt;
+  opt.num_top_alignments = 8;
+
+  const auto scalar = align::make_engine(align::EngineKind::kScalar);
+  const auto reference =
+      core::find_top_alignments(g.sequence, Scoring::protein_default(), opt, *scalar);
+
+  ParallelOptions popt;
+  popt.threads = threads;
+  popt.finder = opt;
+  const auto res = find_top_alignments_parallel(
+      g.sequence, Scoring::protein_default(), popt,
+      align::engine_factory(align::EngineKind::kScalar));
+  std::string diff;
+  EXPECT_TRUE(core::same_tops(reference.tops, res.tops, &diff))
+      << threads << " threads: " << diff;
+  core::validate_tops(res.tops, g.sequence, Scoring::protein_default());
+}
+
+TEST_P(ParallelFinderTest, SimdEnginesMatchToo) {
+  const int threads = GetParam();
+  const auto g = seq::synthetic_dna_tandem(200, 15, 8, 66);
+  FinderOptions opt;
+  opt.num_top_alignments = 6;
+  const auto scalar = align::make_engine(align::EngineKind::kScalar);
+  const auto reference = core::find_top_alignments(
+      g.sequence, Scoring::paper_example(), opt, *scalar);
+
+  ParallelOptions popt;
+  popt.threads = threads;
+  popt.finder = opt;
+  const auto res = find_top_alignments_parallel(
+      g.sequence, Scoring::paper_example(), popt,
+      align::engine_factory(align::EngineKind::kSimd8Generic));
+  std::string diff;
+  EXPECT_TRUE(core::same_tops(reference.tops, res.tops, &diff))
+      << threads << " threads: " << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelFinderTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ParallelFinder, DeterministicAcrossRepeats) {
+  const auto g = seq::synthetic_titin(240, 77);
+  FinderOptions opt;
+  opt.num_top_alignments = 6;
+  ParallelOptions popt;
+  popt.threads = 4;
+  popt.finder = opt;
+  const auto factory = align::engine_factory(align::EngineKind::kScalar);
+  const auto first = find_top_alignments_parallel(
+      g.sequence, Scoring::protein_default(), popt, factory);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto res = find_top_alignments_parallel(
+        g.sequence, Scoring::protein_default(), popt, factory);
+    std::string diff;
+    EXPECT_TRUE(core::same_tops(first.tops, res.tops, &diff)) << diff;
+  }
+}
+
+TEST(ParallelFinder, MinScoreStopsEarly) {
+  const auto s = seq::random_sequence(seq::Alphabet::dna(), 100, 5);
+  ParallelOptions popt;
+  popt.threads = 3;
+  popt.finder.num_top_alignments = 500;
+  popt.finder.min_score = 12;
+  const auto res = find_top_alignments_parallel(
+      s, Scoring::paper_example(), popt,
+      align::engine_factory(align::EngineKind::kScalar));
+  EXPECT_LT(res.tops.size(), 500u);
+  for (const auto& top : res.tops) EXPECT_GE(top.score, 12);
+}
+
+TEST(ParallelFinder, WorkerEnginePropagatesFailure) {
+  // Saturating i16 engines throw; the parallel finder must surface it.
+  const auto s = seq::Sequence::from_string(
+      "sat", std::string(1400, 'A'), seq::Alphabet::dna());
+  ParallelOptions popt;
+  popt.threads = 2;
+  popt.finder.num_top_alignments = 2;
+  const Scoring hot{seq::ScoreMatrix::dna(100, -1), seq::GapPenalty{2, 1}};
+  EXPECT_THROW(find_top_alignments_parallel(
+                   s, hot, popt,
+                   align::engine_factory(align::EngineKind::kSimd8Generic)),
+               std::logic_error);
+}
+
+TEST(ParallelFinder, RejectsSequentialOnlyModes) {
+  const auto g = seq::synthetic_titin(150, 1);
+  ParallelOptions popt;
+  popt.threads = 2;
+  popt.finder.memory = core::MemoryMode::kRecomputeRows;
+  EXPECT_THROW(find_top_alignments_parallel(
+                   g.sequence, Scoring::protein_default(), popt,
+                   align::engine_factory(align::EngineKind::kScalar)),
+               std::logic_error);
+  popt.finder.memory = core::MemoryMode::kArchiveRows;
+  popt.finder.traceback = core::TracebackMode::kLinearSpace;
+  EXPECT_THROW(find_top_alignments_parallel(
+                   g.sequence, Scoring::protein_default(), popt,
+                   align::engine_factory(align::EngineKind::kScalar)),
+               std::logic_error);
+}
+
+TEST(ParallelFinder, StatsAccumulate) {
+  const auto g = seq::synthetic_titin(220, 88);
+  ParallelOptions popt;
+  popt.threads = 4;
+  popt.finder.num_top_alignments = 5;
+  const auto res = find_top_alignments_parallel(
+      g.sequence, Scoring::protein_default(), popt,
+      align::engine_factory(align::EngineKind::kScalar));
+  EXPECT_EQ(res.stats.first_alignments,
+            static_cast<std::uint64_t>(g.sequence.length() - 1));
+  EXPECT_EQ(res.stats.tracebacks, res.tops.size());
+  EXPECT_GT(res.stats.cells, 0u);
+}
+
+}  // namespace
+}  // namespace repro::parallel

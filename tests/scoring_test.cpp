@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/scoring.hpp"
+
+namespace repro::seq {
+namespace {
+
+std::uint8_t P(char c) { return Alphabet::protein().encode(c); }
+
+TEST(Scoring, AllProteinMatricesSymmetric) {
+  EXPECT_TRUE(ScoreMatrix::blosum62().symmetric());
+  EXPECT_TRUE(ScoreMatrix::blosum50().symmetric());
+  EXPECT_TRUE(ScoreMatrix::pam250().symmetric());
+}
+
+TEST(Scoring, Blosum62SpotValues) {
+  const auto m = ScoreMatrix::blosum62();
+  EXPECT_EQ(m.score(P('A'), P('A')), 4);
+  EXPECT_EQ(m.score(P('W'), P('W')), 11);
+  EXPECT_EQ(m.score(P('C'), P('C')), 9);
+  EXPECT_EQ(m.score(P('A'), P('R')), -1);
+  EXPECT_EQ(m.score(P('W'), P('G')), -2);
+  EXPECT_EQ(m.score(P('I'), P('L')), 2);
+  EXPECT_EQ(m.score(P('E'), P('Z')), 4);
+  EXPECT_EQ(m.max_score(), 11);
+}
+
+TEST(Scoring, Pam250SpotValues) {
+  const auto m = ScoreMatrix::pam250();
+  EXPECT_EQ(m.score(P('W'), P('W')), 17);
+  EXPECT_EQ(m.score(P('A'), P('A')), 2);
+  EXPECT_EQ(m.score(P('F'), P('Y')), 7);
+  EXPECT_EQ(m.max_score(), 17);
+}
+
+TEST(Scoring, Blosum50SpotValues) {
+  const auto m = ScoreMatrix::blosum50();
+  EXPECT_EQ(m.score(P('W'), P('W')), 15);
+  EXPECT_EQ(m.score(P('H'), P('H')), 10);
+  EXPECT_EQ(m.score(P('A'), P('A')), 5);
+}
+
+TEST(Scoring, DiagonalIsRowMaximumForCoreResidues) {
+  // A residue should never score higher against another residue than
+  // against itself (holds for the 20 core residues of these matrices).
+  for (const auto& m :
+       {ScoreMatrix::blosum62(), ScoreMatrix::blosum50(), ScoreMatrix::pam250()}) {
+    for (int i = 0; i < m.alphabet().core_size(); ++i) {
+      const auto a = static_cast<std::uint8_t>(i);
+      for (int j = 0; j < m.alphabet().core_size(); ++j)
+        EXPECT_LE(m.score(a, static_cast<std::uint8_t>(j)), m.score(a, a))
+            << m.alphabet().decode(a) << " vs "
+            << m.alphabet().decode(static_cast<std::uint8_t>(j));
+    }
+  }
+}
+
+TEST(Scoring, DnaMatrix) {
+  const auto m = ScoreMatrix::dna(2, -1);
+  const auto& a = Alphabet::dna();
+  EXPECT_EQ(m.score(a.encode('A'), a.encode('A')), 2);
+  EXPECT_EQ(m.score(a.encode('A'), a.encode('C')), -1);
+  // N is never a match, not even against itself.
+  EXPECT_EQ(m.score(a.encode('N'), a.encode('N')), -1);
+  EXPECT_TRUE(m.symmetric());
+}
+
+TEST(Scoring, UniformMatrix) {
+  const auto m = ScoreMatrix::uniform(Alphabet::protein(), 3, -2);
+  EXPECT_EQ(m.score(P('A'), P('A')), 3);
+  EXPECT_EQ(m.score(P('A'), P('W')), -2);
+}
+
+TEST(Scoring, GapCostAffine) {
+  const GapPenalty gap{2, 1};
+  EXPECT_EQ(gap.cost(1), 3);  // the paper's example: one gap costs 2 + 1*1
+  EXPECT_EQ(gap.cost(4), 6);
+}
+
+TEST(Scoring, PaperExampleScoring) {
+  const Scoring s = Scoring::paper_example();
+  const auto& a = Alphabet::dna();
+  EXPECT_EQ(s.matrix.score(a.encode('G'), a.encode('G')), 2);
+  EXPECT_EQ(s.matrix.score(a.encode('G'), a.encode('T')), -1);
+  EXPECT_EQ(s.gap.open, 2);
+  EXPECT_EQ(s.gap.extend, 1);
+}
+
+TEST(Scoring, TextRoundTripBlosum62) {
+  const auto original = ScoreMatrix::blosum62();
+  std::ostringstream out;
+  original.write_text(out);
+  std::istringstream in(out.str());
+  const auto parsed = ScoreMatrix::from_text(in, Alphabet::protein());
+  for (int i = 0; i < original.size(); ++i)
+    for (int j = 0; j < original.size(); ++j)
+      ASSERT_EQ(parsed.score(static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j)),
+                original.score(static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j)));
+}
+
+TEST(Scoring, FromTextParsesNcbiStyle) {
+  std::istringstream in(
+      "# comment line\n"
+      "\n"
+      "   A  C  G  T\n"
+      "A  5 -4 -4 -4\n"
+      "C -4  5 -4 -4\n"
+      "G -4 -4  5 -4\n"
+      "T -4 -4 -4  5\n");
+  const auto m = ScoreMatrix::from_text(in, Alphabet::dna(), -2);
+  const auto& a = Alphabet::dna();
+  EXPECT_EQ(m.score(a.encode('A'), a.encode('A')), 5);
+  EXPECT_EQ(m.score(a.encode('A'), a.encode('T')), -4);
+  // N is not in the file: falls back to `missing`.
+  EXPECT_EQ(m.score(a.encode('N'), a.encode('A')), -2);
+}
+
+TEST(Scoring, FromTextRejectsMalformedInput) {
+  {
+    std::istringstream in("# only comments\n");
+    EXPECT_THROW(ScoreMatrix::from_text(in, Alphabet::dna()), std::logic_error);
+  }
+  {
+    std::istringstream in("  A C\nA 1\n");  // short row
+    EXPECT_THROW(ScoreMatrix::from_text(in, Alphabet::dna()), std::logic_error);
+  }
+  {
+    std::istringstream in("  A C\nA 1 2 3\n");  // long row
+    EXPECT_THROW(ScoreMatrix::from_text(in, Alphabet::dna()), std::logic_error);
+  }
+  {
+    std::istringstream in("  A J\nA 1 2\n");  // J not in the DNA alphabet
+    EXPECT_THROW(ScoreMatrix::from_text(in, Alphabet::dna()), std::logic_error);
+  }
+}
+
+TEST(Scoring, ProteinDefaultUsesBlosum62) {
+  const Scoring s = Scoring::protein_default();
+  EXPECT_EQ(s.matrix.score(P('W'), P('W')), 11);
+  EXPECT_GT(s.gap.open, 0);
+}
+
+}  // namespace
+}  // namespace repro::seq

@@ -1,0 +1,81 @@
+// Shared helpers for the test suite: an independent brute-force reference
+// implementation of the rectangle alignment (Eq. 1 evaluated naively over a
+// full matrix) and small utilities for building jobs and random inputs.
+#pragma once
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "align/engine.hpp"
+#include "align/override_triangle.hpp"
+#include "seq/generator.hpp"
+#include "seq/scoring.hpp"
+#include "seq/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace repro::testing {
+
+/// Naive reference: full matrix, per-cell scans, independent of all engine
+/// code paths. Returns the bottom row of rectangle r (prefix [0,r) vertical,
+/// suffix [r,m) horizontal), honouring the overridden pair set.
+inline std::vector<align::Score> reference_bottom_row(
+    const seq::Sequence& s, int r, const seq::Scoring& scoring,
+    const std::set<std::pair<int, int>>& overrides = {}) {
+  const int m = s.length();
+  const int rows = r;
+  const int cols = m - r;
+  std::vector<std::vector<align::Score>> mat(
+      static_cast<std::size_t>(rows) + 1,
+      std::vector<align::Score>(static_cast<std::size_t>(cols) + 1, 0));
+  for (int y = 1; y <= rows; ++y) {
+    for (int x = 1; x <= cols; ++x) {
+      const int i = y - 1;
+      const int j = r + x - 1;
+      align::Score inner = mat[static_cast<std::size_t>(y - 1)][static_cast<std::size_t>(x - 1)];
+      for (int g = 1; g <= x - 1; ++g)
+        inner = std::max(inner,
+                         mat[static_cast<std::size_t>(y - 1)][static_cast<std::size_t>(x - 1 - g)] -
+                             scoring.gap.cost(g));
+      for (int g = 1; g <= y - 1; ++g)
+        inner = std::max(inner,
+                         mat[static_cast<std::size_t>(y - 1 - g)][static_cast<std::size_t>(x - 1)] -
+                             scoring.gap.cost(g));
+      align::Score h = std::max(
+          align::Score{0}, scoring.matrix.score(s[i], s[j]) + inner);
+      if (overrides.contains({i, j})) h = 0;
+      mat[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = h;
+    }
+  }
+  return {mat[static_cast<std::size_t>(rows)].begin() + 1,
+          mat[static_cast<std::size_t>(rows)].end()};
+}
+
+/// Builds a single-rectangle job.
+inline align::GroupJob make_job(const seq::Sequence& s, int r,
+                                const seq::Scoring& scoring,
+                                const align::OverrideTriangle* tri = nullptr) {
+  align::GroupJob job;
+  job.seq = s.codes();
+  job.scoring = &scoring;
+  job.overrides = tri;
+  job.r0 = r;
+  job.count = 1;
+  return job;
+}
+
+/// Random set of override pairs, mirrored into both representations.
+inline std::set<std::pair<int, int>> random_overrides(
+    int m, int count, util::Rng& rng, align::OverrideTriangle* tri) {
+  std::set<std::pair<int, int>> pairs;
+  for (int k = 0; k < count; ++k) {
+    const int i = static_cast<int>(rng.below(static_cast<std::uint64_t>(m - 1)));
+    const int j = i + 1 +
+                  static_cast<int>(rng.below(static_cast<std::uint64_t>(m - 1 - i)));
+    pairs.insert({i, j});
+    if (tri != nullptr) tri->set(i, j);
+  }
+  return pairs;
+}
+
+}  // namespace repro::testing

@@ -1,0 +1,126 @@
+// Traceback properties: reconstructed pairs reproduce the score, respect
+// overrides, end in the bottom row, and honour shadow rejection.
+#include <gtest/gtest.h>
+
+#include "align/engine.hpp"
+#include "align/override_triangle.hpp"
+#include "align/traceback.hpp"
+#include "core/verify.hpp"
+#include "test_support.hpp"
+
+namespace repro::align {
+namespace {
+
+using seq::Alphabet;
+using seq::Scoring;
+
+TEST(FindBestEnd, NoValidityFilter) {
+  const std::vector<Score> row{0, 3, 7, 7, 2};
+  const BestEnd end = find_best_end(row);
+  EXPECT_EQ(end.score, 7);
+  EXPECT_EQ(end.end_x, 3);  // tie broken to the smaller column
+}
+
+TEST(FindBestEnd, ShadowRejection) {
+  const std::vector<Score> row{5, 9, 4};
+  const std::vector<std::int16_t> original{5, 8, 4};  // col 2 changed: shadow
+  const BestEnd end = find_best_end(row, original);
+  EXPECT_EQ(end.score, 5);
+  EXPECT_EQ(end.end_x, 1);
+}
+
+TEST(FindBestEnd, AllShadowed) {
+  const std::vector<Score> row{5, 9};
+  const std::vector<std::int16_t> original{4, 8};
+  const BestEnd end = find_best_end(row, original);
+  EXPECT_EQ(end.end_x, 0);  // no valid end at all
+}
+
+TEST(FindBestEnd, SizeMismatchThrows) {
+  const std::vector<Score> row{5, 9};
+  const std::vector<std::int16_t> original{4};
+  EXPECT_THROW(find_best_end(row, original), std::logic_error);
+}
+
+TEST(Traceback, ScoreReproducibleFromPairs) {
+  util::Rng rng(808);
+  const Scoring scoring = Scoring::protein_default();
+  for (int iter = 0; iter < 12; ++iter) {
+    const auto g = seq::synthetic_titin(200, 9000 + iter);
+    const auto s = g.sequence.subsequence(
+        0, 60 + static_cast<int>(rng.below(100)));
+    const int m = s.length();
+    const int r = m / 4 + static_cast<int>(rng.below(static_cast<std::uint64_t>(m / 2)));
+    const Traceback tb = traceback_best(testing::make_job(s, r, scoring));
+    ASSERT_GT(tb.score, 0);
+    core::TopAlignment top;
+    top.r = tb.r;
+    top.score = tb.score;
+    top.end_x = tb.end_x;
+    top.pairs = tb.pairs;
+    EXPECT_EQ(core::score_from_pairs(top, s, scoring), tb.score);
+    // Ends in the bottom row.
+    EXPECT_EQ(tb.pairs.back().first, r - 1);
+    EXPECT_EQ(tb.pairs.back().second, r + tb.end_x - 1);
+  }
+}
+
+TEST(Traceback, MatchesScoreOnlyKernel) {
+  // The full-matrix recompute must find exactly the score-only kernel's best
+  // valid end.
+  const Scoring scoring = Scoring::paper_example();
+  const auto engine = make_engine(EngineKind::kScalar);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto g = seq::synthetic_dna_tandem(120, 8, 6, 500 + iter);
+    const int r = 40 + iter;
+    const auto row = engine->align_one(testing::make_job(g.sequence, r, scoring));
+    const BestEnd end = find_best_end(row);
+    if (end.score <= 0) continue;
+    const Traceback tb = traceback_best(testing::make_job(g.sequence, r, scoring));
+    EXPECT_EQ(tb.score, end.score);
+    EXPECT_EQ(tb.end_x, end.end_x);
+  }
+}
+
+TEST(Traceback, NeverUsesOverriddenPairs) {
+  util::Rng rng(909);
+  const Scoring scoring = Scoring::paper_example();
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto g = seq::synthetic_dna_tandem(100, 6, 8, 700 + iter);
+    const int m = g.sequence.length();
+    OverrideTriangle tri(m);
+    const auto overridden = testing::random_overrides(m, 3 * m, rng, &tri);
+    const int r = m / 2;
+    const auto engine = make_engine(EngineKind::kScalar);
+    const auto row =
+        engine->align_one(testing::make_job(g.sequence, r, scoring, &tri));
+    if (find_best_end(row).score <= 0) continue;
+    const Traceback tb =
+        traceback_best(testing::make_job(g.sequence, r, scoring, &tri));
+    for (const auto& p : tb.pairs)
+      EXPECT_FALSE(overridden.contains(p))
+          << "pair (" << p.first << "," << p.second << ") is overridden";
+  }
+}
+
+TEST(Traceback, ThrowsWithoutPositiveValidEnd) {
+  const auto s = seq::Sequence::from_string("x", "AAAATTTT", Alphabet::dna());
+  // Prefix AAAA vs suffix TTTT: no positive local score anywhere.
+  const Scoring scoring = Scoring::paper_example();
+  EXPECT_THROW(traceback_best(testing::make_job(s, 4, scoring)),
+               std::logic_error);
+}
+
+TEST(Traceback, GapPreferenceIsDeterministic) {
+  // Two equal-scoring paths: the walk prefers diagonal, then the shortest
+  // horizontal gap. Run twice and expect identical pairs.
+  const auto g = seq::synthetic_dna_tandem(90, 9, 6, 31);
+  const Scoring scoring = Scoring::paper_example();
+  const Traceback a = traceback_best(testing::make_job(g.sequence, 45, scoring));
+  const Traceback b = traceback_best(testing::make_job(g.sequence, 45, scoring));
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_EQ(a.end_x, b.end_x);
+}
+
+}  // namespace
+}  // namespace repro::align

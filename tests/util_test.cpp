@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace repro::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(Stats, SummaryBasics) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, Percentile) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 100), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 50), 1.5);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 75), 5.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  const double xs[] = {1, 2, 3, 4, 5};
+  const double ys[] = {3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LogLogRecoversExponent) {
+  // t = 2 n^3 should fit slope 3.
+  std::vector<double> ns, ts;
+  for (double n : {100.0, 200.0, 400.0, 800.0}) {
+    ns.push_back(n);
+    ts.push_back(2.0 * n * n * n);
+  }
+  const LinearFit f = fit_loglog(ns, ts);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+}
+
+TEST(Stats, GeometricMean) {
+  const double xs[] = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, RejectsBadInput) {
+  const double xs[] = {1.0, -1.0};
+  EXPECT_THROW(geometric_mean(xs), std::logic_error);
+  EXPECT_THROW(percentile({}, 50), std::logic_error);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "n", "t"});
+  t.set_precision(1);
+  t.add_row({std::string("alpha"), 10LL, 1.5});
+  t.add_row({std::string("b"), 20000LL, 0.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("20000"), std::string::npos);
+  EXPECT_NE(out.find("0.2"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({1LL, 2LL});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1LL}), std::logic_error);
+}
+
+TEST(Args, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "--flag"};
+  Args args(5, const_cast<char**>(argv),
+            {{"alpha", ""}, {"beta", ""}, {"flag", ""}});
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_int("beta", 0), 7);
+  EXPECT_TRUE(args.get_flag("flag"));
+  EXPECT_EQ(args.get_int("gamma", 9), 9);
+  EXPECT_FALSE(args.help_requested());
+}
+
+TEST(Args, RejectsUnknown) {
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(Args(2, const_cast<char**>(argv), {{"alpha", ""}}),
+               std::logic_error);
+}
+
+TEST(Args, IntList) {
+  const char* argv[] = {"prog", "--list=1,2,3"};
+  Args args(2, const_cast<char**>(argv), {{"list", ""}});
+  EXPECT_EQ(args.get_int_list("list", {}), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(args.get_int_list("list2", {5}), (std::vector<std::int64_t>{5}));
+}
+
+TEST(Args, DoubleAndString) {
+  const char* argv[] = {"prog", "--rate=2.5", "--name", "xyz"};
+  Args args(4, const_cast<char**>(argv), {{"rate", ""}, {"name", ""}, {"list2", ""}});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(args.get("name", ""), "xyz");
+}
+
+}  // namespace
+}  // namespace repro::util

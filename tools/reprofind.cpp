@@ -1,0 +1,293 @@
+// reprofind — the command-line front end of reprolib (the analog of the
+// original REPRO server: feed it a sequence, get repeats back).
+//
+//   reprofind find --fasta proteins.fa --tops 25 [--format json]
+//   reprofind find --fasta reads.fa --alphabet dna --repeats
+//   reprofind generate --kind titin --length 3000 --out titin.fa
+//   reprofind info
+//
+// `find` computes nonoverlapping top alignments (optionally in parallel) and
+// delineates repeat regions; output formats: text (default), json, csv.
+#include <fstream>
+#include <iostream>
+
+#include "align/engine.hpp"
+#include "core/consensus.hpp"
+#include "core/delineate.hpp"
+#include "core/top_alignment_finder.hpp"
+#include "parallel/parallel_finder.hpp"
+#include "seq/fasta.hpp"
+#include "seq/generator.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace repro;
+
+align::EngineKind engine_kind_from(const std::string& name) {
+  if (name == "scalar") return align::EngineKind::kScalar;
+  if (name == "striped") return align::EngineKind::kScalarStriped;
+  if (name == "simd4") return align::EngineKind::kSimd4;
+  if (name == "simd8") return align::EngineKind::kSimd8;
+  if (name == "simd16") return align::EngineKind::kSimd16;
+  if (name == "simd4x32") return align::EngineKind::kSimd4x32;
+  if (name == "simd8x32") return align::EngineKind::kSimd8x32;
+  REPRO_CHECK_MSG(false, "unknown engine '" << name
+                                            << "' (scalar|striped|simd4|simd8|"
+                                               "simd16|simd4x32|simd8x32)");
+  return align::EngineKind::kScalar;
+}
+
+seq::Scoring scoring_for(const seq::Alphabet& alphabet,
+                         const std::string& matrix, int open, int extend) {
+  seq::GapPenalty gap{open, extend};
+  if (&alphabet == &seq::Alphabet::dna()) {
+    REPRO_CHECK_MSG(matrix.empty() || matrix == "dna",
+                    "DNA sequences use the built-in dna matrix");
+    return {seq::ScoreMatrix::dna(2, -3), gap};
+  }
+  if (matrix == "blosum50") return {seq::ScoreMatrix::blosum50(), gap};
+  if (matrix == "pam250") return {seq::ScoreMatrix::pam250(), gap};
+  REPRO_CHECK_MSG(matrix.empty() || matrix == "blosum62",
+                  "unknown matrix '" << matrix
+                                     << "' (blosum62|blosum50|pam250)");
+  return {seq::ScoreMatrix::blosum62(), gap};
+}
+
+void emit_text(const seq::Sequence& s, const core::FinderResult& res,
+               const std::vector<core::RepeatRegion>& regions, bool show_alignments) {
+  std::cout << ">" << s.name() << " (" << s.length() << " residues): "
+            << res.tops.size() << " top alignments in " << res.stats.seconds
+            << " s\n";
+  util::Table table({"top", "r", "score", "prefix", "suffix", "pairs"});
+  for (std::size_t t = 0; t < res.tops.size(); ++t) {
+    const auto& top = res.tops[t];
+    table.add_row({static_cast<long long>(t + 1), static_cast<long long>(top.r),
+                   static_cast<long long>(top.score),
+                   std::to_string(top.prefix_begin()) + ".." + std::to_string(top.prefix_end()),
+                   std::to_string(top.suffix_begin()) + ".." + std::to_string(top.suffix_end()),
+                   static_cast<long long>(top.pairs.size())});
+  }
+  if (table.rows() > 0) table.print(std::cout);
+  if (show_alignments) {
+    for (const auto& top : res.tops)
+      std::cout << core::summary(top) << '\n' << core::render(top, s);
+  }
+  for (const auto& region : regions) {
+    std::cout << "repeat region [" << region.begin << ", " << region.end
+              << ") period " << region.period << " copies ~" << region.copies
+              << " support " << region.support << '\n';
+    const core::RepeatProfile profile = core::build_profile(s, region);
+    if (profile.period > 0 && profile.period <= 120)
+      std::cout << "  consensus @" << profile.begin << ": "
+                << profile.consensus << "  (mean identity "
+                << static_cast<int>(profile.mean_identity * 100 + 0.5)
+                << " %)\n";
+  }
+}
+
+void emit_json(const seq::Sequence& s, const core::FinderResult& res,
+               const std::vector<core::RepeatRegion>& regions,
+               util::JsonWriter& json) {
+  json.begin_object();
+  json.kv("name", s.name());
+  json.kv("length", s.length());
+  json.key("stats");
+  json.begin_object();
+  json.kv("seconds", res.stats.seconds);
+  json.kv("cells", res.stats.cells);
+  json.kv("first_alignments", res.stats.first_alignments);
+  json.kv("realignments", res.stats.realignments);
+  json.end_object();
+  json.key("top_alignments");
+  json.begin_array();
+  for (const auto& top : res.tops) {
+    json.begin_object();
+    json.kv("r", top.r);
+    json.kv("score", static_cast<std::int64_t>(top.score));
+    json.kv("prefix_begin", top.prefix_begin());
+    json.kv("prefix_end", top.prefix_end());
+    json.kv("suffix_begin", top.suffix_begin());
+    json.kv("suffix_end", top.suffix_end());
+    json.kv("pairs", static_cast<std::int64_t>(top.pairs.size()));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("repeat_regions");
+  json.begin_array();
+  for (const auto& region : regions) {
+    json.begin_object();
+    json.kv("begin", region.begin);
+    json.kv("end", region.end);
+    json.kv("period", region.period);
+    json.kv("copies", region.copies);
+    json.kv("support", region.support);
+    const core::RepeatProfile profile = core::build_profile(s, region);
+    if (profile.period > 0) {
+      json.kv("consensus", profile.consensus);
+      json.kv("phase_begin", profile.begin);
+      json.kv("mean_identity", profile.mean_identity);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+int cmd_find(int argc, char** argv) {
+  util::Args args(argc, argv,
+                  {{"fasta", "input FASTA file (required)"},
+                   {"alphabet", "protein (default) | dna"},
+                   {"matrix", "blosum62 (default) | blosum50 | pam250"},
+                   {"gap-open", "gap open penalty (default 10)"},
+                   {"gap-extend", "gap extension penalty (default 1)"},
+                   {"tops", "top alignments per sequence (default 20)"},
+                   {"min-score", "stop below this score (default 1)"},
+                   {"engine", "scalar|striped|simd4|simd8|simd16|simd4x32|simd8x32|best"},
+                   {"threads", "shared-memory workers (default 1 = sequential)"},
+                   {"low-memory", "recompute bottom rows instead of archiving"},
+                   {"linear-traceback", "O(rows+cols)-memory traceback"},
+                   {"repeats", "also delineate repeat regions"},
+                   {"alignments", "print the gapped alignments (text format)"},
+                   {"format", "text (default) | json | csv"}});
+  if (args.help_requested()) return 0;
+  REPRO_CHECK_MSG(args.has("fasta"), "--fasta is required (see --help)");
+
+  const bool dna = args.get("alphabet", "protein") == "dna";
+  const auto& alphabet = dna ? seq::Alphabet::dna() : seq::Alphabet::protein();
+  const auto records = seq::read_fasta_file(args.get("fasta", ""), alphabet);
+  REPRO_CHECK_MSG(!records.empty(), "no FASTA records found");
+
+  const seq::Scoring scoring =
+      scoring_for(alphabet, args.get("matrix", ""),
+                  static_cast<int>(args.get_int("gap-open", dna ? 5 : 10)),
+                  static_cast<int>(args.get_int("gap-extend", dna ? 2 : 1)));
+
+  core::FinderOptions opt;
+  opt.num_top_alignments = static_cast<int>(args.get_int("tops", 20));
+  opt.min_score = static_cast<align::Score>(args.get_int("min-score", 1));
+  if (args.get_flag("low-memory")) opt.memory = core::MemoryMode::kRecomputeRows;
+  if (args.get_flag("linear-traceback"))
+    opt.traceback = core::TracebackMode::kLinearSpace;
+  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const std::string engine_name = args.get("engine", "best");
+  const bool want_repeats = args.get_flag("repeats");
+  const std::string format = args.get("format", "text");
+
+  util::JsonWriter json;
+  if (format == "json") json.begin_array();
+  if (format == "csv")
+    std::cout << "sequence,top,r,score,prefix_begin,prefix_end,suffix_begin,"
+                 "suffix_end,pairs\n";
+
+  for (const auto& record : records) {
+    core::FinderResult res;
+    if (threads > 1) {
+      parallel::ParallelOptions popt;
+      popt.threads = threads;
+      popt.finder = opt;
+      const auto factory =
+          engine_name == "best"
+              ? align::EngineFactory([] { return align::make_best_engine(); })
+              : align::engine_factory(engine_kind_from(engine_name));
+      res = parallel::find_top_alignments_parallel(record, scoring, popt, factory);
+    } else {
+      const auto engine = engine_name == "best"
+                              ? align::make_best_engine()
+                              : align::make_engine(engine_kind_from(engine_name));
+      res = core::find_top_alignments(record, scoring, opt, *engine);
+    }
+    std::vector<core::RepeatRegion> regions;
+    if (want_repeats) regions = core::delineate_repeats(record, res.tops);
+
+    if (format == "json") {
+      emit_json(record, res, regions, json);
+    } else if (format == "csv") {
+      for (std::size_t t = 0; t < res.tops.size(); ++t) {
+        const auto& top = res.tops[t];
+        std::cout << '"' << record.name() << "\"," << t + 1 << ',' << top.r
+                  << ',' << top.score << ',' << top.prefix_begin() << ','
+                  << top.prefix_end() << ',' << top.suffix_begin() << ','
+                  << top.suffix_end() << ',' << top.pairs.size() << '\n';
+      }
+    } else {
+      emit_text(record, res, regions, args.get_flag("alignments"));
+    }
+  }
+  if (format == "json") {
+    json.end_array();
+    std::cout << json.str() << '\n';
+  }
+  return 0;
+}
+
+int cmd_generate(int argc, char** argv) {
+  util::Args args(argc, argv,
+                  {{"kind", "titin (default) | dna"},
+                   {"length", "sequence length (default 2000)"},
+                   {"unit", "repeat unit length (dna kind; default 18)"},
+                   {"copies", "repeat copies (dna kind; default 10)"},
+                   {"seed", "generator seed (default 2003)"},
+                   {"out", "output FASTA path (default: stdout)"}});
+  if (args.help_requested()) return 0;
+  const int length = static_cast<int>(args.get_int("length", 2000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2003));
+  seq::GeneratedSequence g =
+      args.get("kind", "titin") == "dna"
+          ? seq::synthetic_dna_tandem(length,
+                                      static_cast<int>(args.get_int("unit", 18)),
+                                      static_cast<int>(args.get_int("copies", 10)),
+                                      seed)
+          : seq::synthetic_titin(length, seed);
+  const std::vector<seq::Sequence> records{std::move(g.sequence)};
+  if (args.has("out")) {
+    seq::write_fasta_file(args.get("out", ""), records);
+    std::cout << "wrote " << records[0].name() << " (" << length << ") to "
+              << args.get("out", "") << '\n';
+  } else {
+    seq::write_fasta(std::cout, records);
+  }
+  return 0;
+}
+
+int cmd_info() {
+  std::cout << "reprolib engines available on this host:\n";
+  const std::vector<std::pair<std::string, bool>> engines{
+      {"scalar (32-bit reference)", true},
+      {"scalar-striped", true},
+      {"general-gap (old-algorithm kernel)", true},
+#if REPRO_HAVE_SSE2
+      {"simd4-sse2 / simd8-sse2 (i16)", true},
+#else
+      {"simd4-sse2 / simd8-sse2 (i16)", false},
+#endif
+      {"simd4x32-sse41 (i32)", align::sse41_available()},
+      {"simd16-avx2 (i16)", align::avx2_available()},
+      {"simd8x32-avx2 (i32)", align::avx2_available()},
+  };
+  for (const auto& [name, ok] : engines)
+    std::cout << "  [" << (ok ? 'x' : ' ') << "] " << name << '\n';
+  std::cout << "default engine: " << align::make_best_engine()->name() << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  try {
+    if (cmd == "find") return cmd_find(argc - 1, argv + 1);
+    if (cmd == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (cmd == "info") return cmd_info();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  std::cerr << "usage: reprofind <find|generate|info> [options]\n"
+               "  reprofind find --fasta seqs.fa --tops 25 --repeats\n"
+               "  reprofind generate --kind titin --length 3000 --out t.fa\n"
+               "  reprofind info\n";
+  return cmd.empty() ? 1 : (std::cerr << "unknown command: " << cmd << '\n', 1);
+}
