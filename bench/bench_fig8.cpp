@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
        {"tops", "comma-separated top-alignment counts"},
        {"procs", "comma-separated processor counts"},
        {"lanes", "SIMD lanes per worker CPU (paper: 4, P-III SSE)"},
-       {"dual-cpu", "add the Sec. 5.2 dual-CPU memory-bus ablation"}});
+       {"dual-cpu", "add the Sec. 5.2 dual-CPU memory-bus ablation"},
+       {"json", bench::kJsonFlagHelp}});
   if (args.help_requested()) return 0;
 
   int m = static_cast<int>(args.get_int("m", 2500));
@@ -115,6 +116,12 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  obs::MetricsReport report("bench_fig8");
+  report.param("m", m);
+  report.param("lanes", lanes);
+  report.param("max_procs", static_cast<std::int64_t>(procs.back()));
+  report.metric("scalar_calib_cells_per_sec", scalar_rate);
+  report.metric("simd_calib_cells_per_sec", simd_rate);
   if (simd1_one_top > 0 && t128_one_top > 0) {
     const double vs_simd = simd1_one_top / t128_one_top;
     const auto pmax = static_cast<double>(procs.back());
@@ -125,6 +132,9 @@ int main(int argc, char** argv) {
               << "  speedup vs single-CPU SIMD worker: " << vs_simd
               << " (paper: 123), efficiency " << 100.0 * vs_simd / pmax
               << " % (paper: 96.1 %)\n";
+    report.metric("improvement_vs_scalar_1top", scalar_seq[0] / t128_one_top);
+    report.metric("speedup_vs_simd1_1top", vs_simd);
+    report.metric("efficiency_pct_1top", 100.0 * vs_simd / pmax);
   }
   std::cout << "speculation: " << oracle.computed_alignments()
             << " group alignments computed across the whole sweep "
@@ -146,5 +156,7 @@ int main(int argc, char** argv) {
               << " s; non-cache-aware model: " << t_unaware
               << " s  (paper: 100 % vs 25 % second-CPU gain)\n";
   }
+  report.counter("oracle_group_alignments", oracle.computed_alignments());
+  bench::maybe_write_json(args, report);
   return 0;
 }

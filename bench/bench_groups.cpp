@@ -19,7 +19,9 @@
 int main(int argc, char** argv) {
   using namespace repro;
   util::Args args(argc, argv,
-                  {{"m", "sequence length"}, {"tops", "top alignments"}});
+                  {{"m", "sequence length"},
+                   {"tops", "top alignments"},
+                   {"json", bench::kJsonFlagHelp}});
   if (args.help_requested()) return 0;
   const int m = static_cast<int>(args.get_int("m", 2000));
   const int tops = static_cast<int>(args.get_int("tops", 20));
@@ -51,6 +53,9 @@ int main(int argc, char** argv) {
   util::Table table({"group", "seconds", "realigns", "speculative",
                      "extra aligns %", "Mcells/s"});
   table.set_precision(2);
+  obs::MetricsReport report("bench_groups");
+  report.param("m", m);
+  report.param("tops", tops);
   std::uint64_t scalar_aligned = 0;
   std::vector<core::TopAlignment> reference;
   for (const auto& config : configs) {
@@ -69,13 +74,18 @@ int main(int argc, char** argv) {
     const std::uint64_t aligned = res.stats.first_alignments +
                                   res.stats.realignments + res.stats.speculative;
     if (config.kind == align::EngineKind::kScalar) scalar_aligned = aligned;
+    const double extra = 100.0 * (static_cast<double>(aligned) /
+                                      static_cast<double>(scalar_aligned) -
+                                  1.0);
     table.add_row({config.label, res.stats.seconds,
                    static_cast<long long>(res.stats.realignments),
                    static_cast<long long>(res.stats.speculative),
-                   100.0 * (static_cast<double>(aligned) /
-                                static_cast<double>(scalar_aligned) -
-                            1.0),
+                   extra,
                    static_cast<double>(res.stats.cells) / res.stats.seconds / 1e6});
+    report.metric(engine->name() + ".extra_alignments_pct", extra);
+    report.metric(engine->name() + ".cells_per_sec",
+                  static_cast<double>(res.stats.cells) / res.stats.seconds);
+    report.counter(engine->name() + ".speculative", res.stats.speculative);
   }
   table.print(std::cout);
   std::cout << "\nall widths produced identical top alignments [OK]\n"
@@ -84,5 +94,6 @@ int main(int argc, char** argv) {
                "grows as groups widen relative to the per-top realignment "
                "set — the reason the thread/cluster levels schedule "
                "dynamically instead of using larger static groups.\n";
+  bench::maybe_write_json(args, report);
   return 0;
 }

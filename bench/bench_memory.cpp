@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   using namespace repro;
   util::Args args(argc, argv,
                   {{"m", "sequence length for the live run"},
-                   {"tops", "top alignments for the live run"}});
+                   {"tops", "top alignments for the live run"},
+                   {"json", bench::kJsonFlagHelp}});
   if (args.help_requested()) return 0;
   const int m = static_cast<int>(args.get_int("m", 2000));
   const int tops = static_cast<int>(args.get_int("tops", 15));
@@ -135,5 +136,22 @@ int main(int argc, char** argv) {
             << " % cells — bounded by one extra alignment per realignment, "
                "and best-first keeps realignments rare.\nidentical top "
                "alignments in both modes [OK]\n";
+
+  obs::MetricsReport report("bench_memory");
+  report.param("m", m);
+  report.param("tops", tops);
+  report.metric("recompute_time_overhead_pct",
+                100.0 * (res_recompute.stats.seconds /
+                             res_archive.stats.seconds -
+                         1.0));
+  report.metric("recompute_cells_overhead_pct",
+                100.0 * (static_cast<double>(res_recompute.stats.cells) /
+                             static_cast<double>(res_archive.stats.cells) -
+                         1.0));
+  report.counter("archive_cells", res_archive.stats.cells);
+  report.counter("recompute_cells", res_recompute.stats.cells);
+  report.counter("archive_bytes",
+                 static_cast<std::uint64_t>(m) * (static_cast<std::uint64_t>(m) - 1));
+  bench::maybe_write_json(args, report);
   return 0;
 }

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   util::Args args(argc, argv,
                   {{"m", "sequence length"},
                    {"tops", "top alignments"},
-                   {"seeds", "comma-separated generator seeds"}});
+                   {"seeds", "comma-separated generator seeds"},
+                   {"json", bench::kJsonFlagHelp}});
   if (args.help_requested()) return 0;
   const int m = static_cast<int>(args.get_int("m", 1200));
   const int tops = static_cast<int>(args.get_int("tops", 25));
@@ -30,6 +31,11 @@ int main(int argc, char** argv) {
   util::Table table({"seed", "sweep realigns", "best-first realigns",
                      "avoided %", "realigns/top %", "SIMD extra aligns %"});
   table.set_precision(2);
+
+  double avoided_sum = 0.0, per_top_sum = 0.0, extra_sum = 0.0;
+  std::uint64_t sweep_realigns_sum = 0, best_realigns_sum = 0;
+  std::uint64_t cells_sum = 0;
+  double seconds_sum = 0.0;
 
   for (const auto seed : seeds) {
     const auto g = seq::synthetic_titin(m, static_cast<std::uint64_t>(seed));
@@ -78,10 +84,33 @@ int main(int argc, char** argv) {
                    static_cast<long long>(r_sweep.stats.realignments),
                    static_cast<long long>(r_best.stats.realignments), avoided,
                    per_top, extra});
+    avoided_sum += avoided;
+    per_top_sum += per_top;
+    extra_sum += extra;
+    sweep_realigns_sum += r_sweep.stats.realignments;
+    best_realigns_sum += r_best.stats.realignments;
+    cells_sum += r_best.stats.cells;
+    seconds_sum += r_best.stats.seconds;
   }
   table.print(std::cout);
   std::cout << "\npaper reference: 90-97 % of realignments avoided; 3-10 % of "
                "matrices realigned per top alignment; SSE grouping computed "
                "< 0.70 % extra alignments.\n";
+
+  const double nseeds = static_cast<double>(seeds.size());
+  obs::MetricsReport report("bench_scheduler");
+  report.param("m", m);
+  report.param("tops", tops);
+  report.param("seeds", static_cast<std::int64_t>(seeds.size()));
+  report.metric("realignments_avoided_pct", avoided_sum / nseeds);
+  report.metric("realignments_per_top_pct", per_top_sum / nseeds);
+  report.metric("simd_extra_alignments_pct", extra_sum / nseeds);
+  if (seconds_sum > 0.0)
+    report.metric("cells_per_sec",
+                  static_cast<double>(cells_sum) / seconds_sum);
+  report.counter("sweep_realignments", sweep_realigns_sum);
+  report.counter("best_first_realignments", best_realigns_sum);
+  report.counter("cells", cells_sum);
+  bench::maybe_write_json(args, report);
   return 0;
 }

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   util::Args args(argc, argv,
                   {{"m", "sequence length"},
                    {"paper-scale", "use the paper's sequence length (34350)"},
-                   {"reps", "timing repetitions"}});
+                   {"reps", "timing repetitions"},
+                   {"json", bench::kJsonFlagHelp}});
   if (args.help_requested()) return 0;
   int m = static_cast<int>(args.get_int("m", 8000));
   if (args.get_flag("paper-scale")) m = 34350;
@@ -87,18 +88,25 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  obs::MetricsReport report("bench_striping");
+  report.param("m", m);
+  report.param("reps", reps);
   if (!ratios_simd.empty()) {
     const auto s = util::summarize(ratios_simd);
     std::cout << "\nSIMD striping speedup: min " << s.min << ", avg " << s.mean
               << ", max " << s.max << "   (paper: avg ~4x, up to 6.5x on a "
                  "Pentium III)\n";
+    report.metric("simd_striping_speedup_avg", s.mean);
+    report.metric("simd_striping_speedup_max", s.max);
   }
   if (!ratios_scalar.empty()) {
     const auto s = util::summarize(ratios_scalar);
     std::cout << "scalar striping speedup: avg " << s.mean
               << "   (paper: ~1.16x)\n";
+    report.metric("scalar_striping_speedup_avg", s.mean);
   }
   std::cout << "note: 2003-era L1/L2 penalties were far larger; modern "
                "prefetchers shrink these gaps (see EXPERIMENTS.md).\n";
+  bench::maybe_write_json(args, report);
   return 0;
 }

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
                    {"tops", "top alignments per run (paper: 50)"},
                    {"seed", "generator seed"},
                    {"paper-scale", "run the paper's lengths (1000..1800, 50 tops)"},
-                   {"verify", "cross-check old == new top alignments"}});
+                   {"verify", "cross-check old == new top alignments"},
+                   {"json", bench::kJsonFlagHelp}});
   if (args.help_requested()) return 0;
 
   std::vector<std::int64_t> lengths =
@@ -93,5 +94,15 @@ int main(int argc, char** argv) {
                     : "[MISMATCH]")
             << "\n\npaper reference rows (Pentium III, 50 tops):\n"
             << "  1000: 1121 s vs 10.6 s (106x)   1800: 14672 s vs 57.4 s (256x)\n";
+
+  obs::MetricsReport report("bench_table1");
+  report.param("tops", tops);
+  report.param("lengths", static_cast<std::int64_t>(lengths.size()));
+  report.metric("old_exponent", fit_old.slope);
+  report.metric("new_exponent", fit_new.slope);
+  report.metric("speedup_at_max_length", t_old.back() / t_new.back());
+  report.metric("old_seconds_at_max_length", t_old.back());
+  report.metric("new_seconds_at_max_length", t_new.back());
+  bench::maybe_write_json(args, report);
   return 0;
 }

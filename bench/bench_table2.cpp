@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
                   {{"m", "sequence length (paper: 34350)"},
                    {"paper-scale", "use the paper's sequence length"},
                    {"tops", "top alignments for the whole-run ratio"},
-                   {"reps", "timing repetitions"}});
+                   {"reps", "timing repetitions"},
+                   {"json", bench::kJsonFlagHelp}});
   if (args.help_requested()) return 0;
 
   int m = static_cast<int>(args.get_int("m", 6000));
@@ -66,6 +67,10 @@ int main(int argc, char** argv) {
 
   const int r0 = m / 2;
   double scalar_per_matrix = 0.0;
+  obs::MetricsReport report("bench_table2");
+  report.param("m", m);
+  report.param("tops", tops);
+  report.param("reps", reps);
   for (const auto& row : rows) {
     const auto engine = align::make_engine(row.kind);
     const int count = row.lanes;
@@ -88,6 +93,9 @@ int main(int argc, char** argv) {
                          static_cast<double>(m - r0) * row.lanes;
     table.add_row({row.label, secs, static_cast<long long>(count),
                    scalar_per_matrix / per_matrix, cells / secs / 1e6});
+    report.metric(engine->name() + ".cells_per_sec", cells / secs);
+    report.metric(engine->name() + ".per_matrix_speedup",
+                  scalar_per_matrix / per_matrix);
   }
   table.print(std::cout);
   std::cout << "\npaper reference: SSE 6.9x (P-III) / 6.0x (P4), SSE2 9.8x; "
@@ -123,5 +131,18 @@ int main(int argc, char** argv) {
             << scalar_run.stats.seconds / simd_run.stats.seconds
             << " (paper: 6.8)\n  extra lane-cells computed by SIMD grouping: "
             << extra << " % (paper: < 0.70 % extra alignments)\n";
+
+  report.param("run_m", run_m);
+  report.metric("whole_run_speedup",
+                scalar_run.stats.seconds / simd_run.stats.seconds);
+  report.metric("simd_extra_alignments_pct", extra);
+  if (simd_run.stats.seconds > 0.0)
+    report.metric("whole_run_cells_per_sec",
+                  static_cast<double>(simd_run.stats.cells) /
+                      simd_run.stats.seconds);
+  report.counter("scalar_run_cells", scalar_run.stats.cells);
+  report.counter("simd_run_cells", simd_run.stats.cells);
+  report.counter("simd_run_realignments", simd_run.stats.realignments);
+  bench::maybe_write_json(args, report);
   return 0;
 }

@@ -29,16 +29,20 @@ class Engine {
   [[nodiscard]] virtual int lanes() const = 0;
 
   /// Computes bottom rows for splits job.r0 .. job.r0+job.count-1.
-  /// out[k] must have exactly m - (job.r0 + k) elements.
-  virtual void align(const GroupJob& job,
-                     std::span<const std::span<Score>> out) = 0;
+  /// out[k] must have exactly m - (job.r0 + k) elements. Non-virtual: the
+  /// wrapper centralizes the cell/alignment accounting (identical for every
+  /// engine: lanes x rows x columns per group) and reports it to the global
+  /// observability registry, so kernels never touch counters.
+  void align(const GroupJob& job, std::span<const std::span<Score>> out);
 
   /// Convenience wrapper for single-rectangle use (tests, traceback prep).
   std::vector<Score> align_one(const GroupJob& job);
 
   /// Cells computed since construction (each lane-cell counts once, so SIMD
   /// engines accumulate lanes x rows x columns — the quantity behind the
-  /// paper's "more than a billion matrix entries per second").
+  /// paper's "more than a billion matrix entries per second"). Engines are
+  /// single-threaded, so these are plain integers; the obs layer's shared
+  /// counters are fed once per group alignment, never per cell.
   [[nodiscard]] std::uint64_t cells_computed() const { return cells_; }
 
   /// Group alignments performed since construction.
@@ -50,6 +54,12 @@ class Engine {
   }
 
  protected:
+  /// Engine kernel: computes the bottom rows. Implementations validate the
+  /// job themselves (validate_job) and do no accounting.
+  virtual void do_align(const GroupJob& job,
+                        std::span<const std::span<Score>> out) = 0;
+
+ private:
   std::uint64_t cells_ = 0;
   std::uint64_t aligns_ = 0;
 };
@@ -89,5 +99,16 @@ bool avx2_available();
 
 /// True when the SSE4.1 (4 x i32) engine can run on this CPU and build.
 bool sse41_available();
+
+/// True when `kind` computes in saturating i16 lanes (scores clamp at
+/// INT16_MAX; the kernel throws only when saturation actually occurs).
+bool engine_uses_i16(EngineKind kind);
+
+/// Upfront guard for explicit i16 engine selection: throws with an
+/// actionable message (naming the 32-bit engine alternatives) when a
+/// sequence of length m under `scoring` could theoretically exceed the i16
+/// ceiling — all-match score of the largest rectangle, min(r, m-r) pairs at
+/// matrix.max_score() each. No-op for non-i16 engines.
+void check_i16_headroom(EngineKind kind, int m, const seq::Scoring& scoring);
 
 }  // namespace repro::align

@@ -21,7 +21,9 @@ class GeneralGapEngine final : public Engine {
   [[nodiscard]] std::string name() const override { return "general-gap"; }
   [[nodiscard]] int lanes() const override { return 1; }
 
-  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+ protected:
+  void do_align(const GroupJob& job,
+                std::span<const std::span<Score>> out) override {
     detail::validate_job(job, out, lanes());
     const auto& seq = job.seq;
     const int m = static_cast<int>(seq.size());
@@ -65,8 +67,6 @@ class GeneralGapEngine final : public Engine {
 
     const Score* bottom = matrix_.data() + static_cast<std::size_t>(rows) * w;
     std::copy(bottom + 1, bottom + 1 + cols, out[0].begin());
-    cells_ += static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
-    aligns_ += 1;
   }
 
  private:

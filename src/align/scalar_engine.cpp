@@ -14,7 +14,9 @@ class ScalarEngine final : public Engine {
   [[nodiscard]] std::string name() const override { return "scalar"; }
   [[nodiscard]] int lanes() const override { return 1; }
 
-  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+ protected:
+  void do_align(const GroupJob& job,
+                std::span<const std::span<Score>> out) override {
     detail::validate_job(job, out, lanes());
     const auto& seq = job.seq;
     const int m = static_cast<int>(seq.size());
@@ -53,8 +55,6 @@ class ScalarEngine final : public Engine {
     }
 
     std::copy(h_.begin() + 1, h_.end(), out[0].begin());
-    cells_ += static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
-    aligns_ += 1;
   }
 
  private:

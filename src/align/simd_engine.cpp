@@ -8,10 +8,12 @@
 // fallback and as a cross-check in tests.
 #include "align/engine.hpp"
 
+#include <limits>
 #include <utility>
 
 #include "align/engine_detail.hpp"
 #include "align/simd_kernel.hpp"
+#include "obs/metrics.hpp"
 
 #if REPRO_HAVE_SSE2
 #include <emmintrin.h>
@@ -83,15 +85,11 @@ class SimdEngineT final : public Engine {
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] int lanes() const override { return Ops::kLanes; }
 
-  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+ protected:
+  void do_align(const GroupJob& job,
+                std::span<const std::span<Score>> out) override {
     validate_job(job, out, lanes());
     run_simd_group<Ops>(job, out, stripe_, scratch_);
-    const int m = static_cast<int>(job.seq.size());
-    const int width = m - job.r0;
-    const int rows = job.r0 + job.count - 1;
-    cells_ += static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(width) *
-              static_cast<std::uint64_t>(Ops::kLanes);
-    aligns_ += 1;
   }
 
  private:
@@ -137,6 +135,27 @@ std::unique_ptr<Engine> make_simd32_generic_engine(int lanes, int stripe_cols) {
 }
 
 }  // namespace detail
+
+void Engine::align(const GroupJob& job, std::span<const std::span<Score>> out) {
+  do_align(job, out);
+  const auto m = static_cast<std::uint64_t>(job.seq.size());
+  const std::uint64_t group_cells =
+      static_cast<std::uint64_t>(job.r0 + job.count - 1) *
+      (m - static_cast<std::uint64_t>(job.r0)) *
+      static_cast<std::uint64_t>(lanes());
+  cells_ += group_cells;
+  aligns_ += 1;
+  if constexpr (obs::kEnabled) {
+    // Slots fetched once per process; per group alignment this is two
+    // relaxed adds, and with REPRO_OBS=OFF the whole block vanishes.
+    static obs::Counter& lane_cells =
+        obs::Registry::global().counter("align.lane_cells");
+    static obs::Counter& group_alignments =
+        obs::Registry::global().counter("align.group_alignments");
+    lane_cells.add(group_cells);
+    group_alignments.add(1);
+  }
+}
 
 std::vector<Score> Engine::align_one(const GroupJob& job) {
   REPRO_CHECK(job.count == 1);
@@ -208,6 +227,34 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, int stripe_cols) {
   }
   REPRO_CHECK_MSG(false, "unknown engine kind");
   return nullptr;  // unreachable
+}
+
+bool engine_uses_i16(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSimd4:
+    case EngineKind::kSimd8:
+    case EngineKind::kSimd16:
+    case EngineKind::kSimd4Generic:
+    case EngineKind::kSimd8Generic:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void check_i16_headroom(EngineKind kind, int m, const seq::Scoring& scoring) {
+  if (!engine_uses_i16(kind)) return;
+  // Largest rectangle: min(r, m-r) residue pairs, maximized at r = m/2;
+  // gaps only subtract, so this bounds every reachable score.
+  const std::int64_t bound =
+      static_cast<std::int64_t>(m / 2) * scoring.matrix.max_score();
+  REPRO_CHECK_MSG(
+      bound <= std::numeric_limits<std::int16_t>::max(),
+      "sequence of length "
+          << m << " can reach score " << bound
+          << ", beyond the i16 SIMD ceiling of 32767 — use a 32-bit engine "
+             "(simd4x32, simd8x32, or scalar) instead of the selected i16 "
+             "engine");
 }
 
 EngineFactory engine_factory(EngineKind kind, int stripe_cols) {

@@ -36,13 +36,11 @@ class Avx2Engine final : public Engine {
   [[nodiscard]] std::string name() const override { return "simd16-avx2"; }
   [[nodiscard]] int lanes() const override { return 16; }
 
-  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+ protected:
+  void do_align(const GroupJob& job,
+                std::span<const std::span<Score>> out) override {
     validate_job(job, out, lanes());
     run_simd_group<Avx2Ops16>(job, out, stripe_, scratch_);
-    const int m = static_cast<int>(job.seq.size());
-    cells_ += static_cast<std::uint64_t>(job.r0 + job.count - 1) *
-              static_cast<std::uint64_t>(m - job.r0) * 16u;
-    aligns_ += 1;
   }
 
  private:
@@ -78,13 +76,11 @@ class Avx2Engine32 final : public Engine {
   [[nodiscard]] std::string name() const override { return "simd8x32-avx2"; }
   [[nodiscard]] int lanes() const override { return 8; }
 
-  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+ protected:
+  void do_align(const GroupJob& job,
+                std::span<const std::span<Score>> out) override {
     validate_job(job, out, lanes());
     run_simd_group<Avx2Ops8x32>(job, out, stripe_, scratch_);
-    const int m = static_cast<int>(job.seq.size());
-    cells_ += static_cast<std::uint64_t>(job.r0 + job.count - 1) *
-              static_cast<std::uint64_t>(m - job.r0) * 8u;
-    aligns_ += 1;
   }
 
  private:

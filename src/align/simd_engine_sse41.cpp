@@ -40,13 +40,11 @@ class Sse41Engine final : public Engine {
   [[nodiscard]] std::string name() const override { return "simd4x32-sse41"; }
   [[nodiscard]] int lanes() const override { return 4; }
 
-  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+ protected:
+  void do_align(const GroupJob& job,
+                std::span<const std::span<Score>> out) override {
     validate_job(job, out, lanes());
     run_simd_group<Sse41Ops4x32>(job, out, stripe_, scratch_);
-    const int m = static_cast<int>(job.seq.size());
-    cells_ += static_cast<std::uint64_t>(job.r0 + job.count - 1) *
-              static_cast<std::uint64_t>(m - job.r0) * 4u;
-    aligns_ += 1;
   }
 
  private:

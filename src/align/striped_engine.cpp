@@ -26,7 +26,9 @@ class ScalarStripedEngine final : public Engine {
   [[nodiscard]] std::string name() const override { return "scalar-striped"; }
   [[nodiscard]] int lanes() const override { return 1; }
 
-  void align(const GroupJob& job, std::span<const std::span<Score>> out) override {
+ protected:
+  void do_align(const GroupJob& job,
+                std::span<const std::span<Score>> out) override {
     detail::validate_job(job, out, lanes());
     const auto& seq = job.seq;
     const int m = static_cast<int>(seq.size());
@@ -86,9 +88,6 @@ class ScalarStripedEngine final : public Engine {
         carry_mx_[static_cast<std::size_t>(y)] = max_x;
       }
     }
-
-    cells_ += static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
-    aligns_ += 1;
   }
 
  private:

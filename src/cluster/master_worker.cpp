@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "cluster/mpisim.hpp"
 #include "core/task_queue.hpp"
 #include "core/top_alignment_finder.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -110,7 +112,31 @@ class Master {
       info->payload_words = comm_.words_sent();
       info->row_replicas_served = replicas_served_;
       info->row_deposits = deposits_;
+      info->messages_by_rank.resize(static_cast<std::size_t>(comm_.size()));
+      info->payload_words_by_rank.resize(static_cast<std::size_t>(comm_.size()));
+      for (int rank = 0; rank < comm_.size(); ++rank) {
+        info->messages_by_rank[static_cast<std::size_t>(rank)] =
+            comm_.messages_sent_from(rank);
+        info->payload_words_by_rank[static_cast<std::size_t>(rank)] =
+            comm_.words_sent_from(rank);
+      }
     }
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::Registry::global();
+      reg.counter("cluster.messages").add(comm_.messages_sent());
+      reg.counter("cluster.payload_words").add(comm_.words_sent());
+      reg.counter("cluster.row_replicas_served").add(replicas_served_);
+      reg.counter("cluster.row_deposits").add(deposits_);
+      reg.counter("cluster.ranks").add(static_cast<std::uint64_t>(comm_.size()));
+      for (int rank = 0; rank < comm_.size(); ++rank) {
+        const std::string suffix = ".rank" + std::to_string(rank);
+        reg.counter("cluster.messages" + suffix)
+            .add(comm_.messages_sent_from(rank));
+        reg.counter("cluster.payload_words" + suffix)
+            .add(comm_.words_sent_from(rank));
+      }
+    }
+    core::publish_finder_stats(res.stats, s_.length(), "cluster.");
     return res;
   }
 

@@ -11,6 +11,9 @@
 // for every rank count — and identical to the sequential algorithm's.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "align/engine.hpp"
 #include "core/options.hpp"
 #include "seq/scoring.hpp"
@@ -43,6 +46,10 @@ struct ClusterRunInfo {
   std::uint64_t payload_words = 0;
   std::uint64_t row_replicas_served = 0;  ///< master-served (replica mode)
   std::uint64_t row_deposits = 0;         ///< owner deposits (partitioned mode)
+  /// Per-sender breakdown, indexed by rank (rank 0 = master): separates
+  /// master control traffic from worker results/deposits/replica replies.
+  std::vector<std::uint64_t> messages_by_rank;
+  std::vector<std::uint64_t> payload_words_by_rank;
 };
 
 core::FinderResult find_top_alignments_cluster(const seq::Sequence& s,

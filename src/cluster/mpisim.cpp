@@ -8,7 +8,7 @@
 
 namespace repro::cluster {
 
-Comm::Comm(int size) {
+Comm::Comm(int size) : per_rank_(static_cast<std::size_t>(size)) {
   REPRO_CHECK(size >= 1);
   boxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
@@ -18,6 +18,9 @@ void Comm::send(int from, int to, Message msg) {
   REPRO_CHECK(from >= 0 && from < size() && to >= 0 && to < size());
   messages_.fetch_add(1, std::memory_order_relaxed);
   words_.fetch_add(msg.data.size() + 1, std::memory_order_relaxed);
+  RankCounters& rc = per_rank_[static_cast<std::size_t>(from)];
+  rc.messages.fetch_add(1, std::memory_order_relaxed);
+  rc.words.fetch_add(msg.data.size() + 1, std::memory_order_relaxed);
   Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
   {
     std::lock_guard lock(box.mutex);
@@ -97,6 +100,18 @@ std::uint64_t Comm::messages_sent() const {
 
 std::uint64_t Comm::words_sent() const {
   return words_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Comm::messages_sent_from(int rank) const {
+  REPRO_CHECK(rank >= 0 && rank < size());
+  return per_rank_[static_cast<std::size_t>(rank)].messages.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Comm::words_sent_from(int rank) const {
+  REPRO_CHECK(rank >= 0 && rank < size());
+  return per_rank_[static_cast<std::size_t>(rank)].words.load(
+      std::memory_order_relaxed);
 }
 
 void run_ranks(Comm& comm, const std::function<void(int)>& body) {

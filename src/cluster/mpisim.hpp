@@ -65,6 +65,12 @@ class Comm {
   [[nodiscard]] std::uint64_t messages_sent() const;
   [[nodiscard]] std::uint64_t words_sent() const;
 
+  /// Per-sender breakdown of the same totals (rank 0 is the master, so
+  /// these separate master->worker control traffic from worker->master row
+  /// deposits and replica replies).
+  [[nodiscard]] std::uint64_t messages_sent_from(int rank) const;
+  [[nodiscard]] std::uint64_t words_sent_from(int rank) const;
+
   /// Tag reserved for barrier traffic; applications must not use it.
   static constexpr int kBarrierTag = -1001;
 
@@ -75,9 +81,15 @@ class Comm {
     std::deque<std::pair<int, Message>> queue;
   };
 
+  struct alignas(64) RankCounters {  // cache-line padded: ranks send often
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> words{0};
+  };
+
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> words_{0};
+  std::vector<RankCounters> per_rank_;
 };
 
 /// Spawns `size` rank threads running body(rank) against a shared Comm and

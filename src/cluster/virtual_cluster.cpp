@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/task_queue.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace repro::cluster {
@@ -130,7 +131,8 @@ class Simulation {
                       static_cast<double>(m_ - g.r0) *
                       static_cast<double>(lanes_) / worker_rate();
     if (distributed) {
-      duration += 2.0 * model_.latency_sec;  // assign + result messages
+      double comm = 2.0 * model_.latency_sec;  // assign + result messages
+      result_.comm_messages_modelled += 2;
       // Row-replica fetches for shadow checks (cached per SMP node); a
       // first alignment instead uploads its bottom rows with the result.
       const int node = (w + 1) / std::max(1, model_.cpus_per_node);
@@ -142,11 +144,14 @@ class Simulation {
           node_cache_.insert({node, r});
         } else if (!node_cache_.contains({node, r})) {
           bytes += static_cast<std::uint64_t>(m_ - r) * 2;  // fetch
-          duration += model_.latency_sec;
+          comm += model_.latency_sec;
+          result_.comm_messages_modelled += 2;  // request + reply
           node_cache_.insert({node, r});
         }
       }
-      duration += static_cast<double>(bytes) / model_.bandwidth_bytes_per_sec;
+      comm += static_cast<double>(bytes) / model_.bandwidth_bytes_per_sec;
+      duration += comm;
+      result_.comm_seconds_modelled += comm;
       result_.row_replica_bytes += bytes;
     }
 
@@ -211,7 +216,21 @@ class Simulation {
 SimResult simulate_cluster(AlignmentOracle& oracle, const ClusterModel& model,
                            const core::FinderOptions& finder) {
   Simulation sim(oracle, model, finder);
-  return sim.run();
+  SimResult result = sim.run();
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::Registry::global();
+    reg.counter("vcluster.runs").add(1);
+    reg.counter("vcluster.assignments").add(result.assignments);
+    reg.counter("vcluster.row_replica_bytes").add(result.row_replica_bytes);
+    reg.counter("vcluster.comm_messages_modelled")
+        .add(result.comm_messages_modelled);
+    reg.timer("vcluster.comm_seconds_modelled")
+        .add_seconds(result.comm_seconds_modelled);
+    reg.set_gauge("vcluster.worker_busy_fraction",
+                  result.worker_busy_fraction);
+    reg.set_gauge("vcluster.makespan_sec", result.makespan_sec);
+  }
+  return result;
 }
 
 }  // namespace repro::cluster

@@ -47,6 +47,11 @@ struct SimResult {
   std::uint64_t row_replica_bytes = 0;
   double worker_busy_fraction = 0.0;  ///< busy time / (workers x makespan)
   int tops_found = 0;
+  /// Virtual seconds charged to communication (latencies + byte transfer),
+  /// summed over assignments — the modelled overhead behind Fig. 8's
+  /// efficiency decay.
+  double comm_seconds_modelled = 0.0;
+  std::uint64_t comm_messages_modelled = 0;  ///< modelled message count
 };
 
 /// Simulates one run; the oracle supplies real scores (memoised across

@@ -58,6 +58,10 @@ struct FinderStats {
   std::uint64_t queue_pops = 0;
   std::uint64_t cells = 0;             ///< matrix lane-cells computed
   double seconds = 0.0;
+  /// Wall time worker threads spent parked on the scheduler's condition
+  /// variable, summed over threads (shared-memory finder only; the paper's
+  /// §5.1 speculation exists precisely to shrink this).
+  double idle_seconds = 0.0;
 };
 
 struct FinderResult {

@@ -9,6 +9,7 @@
 // sequential Fig.-5 algorithm would pick, independent of grouping.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <set>
 #include <vector>
@@ -87,8 +88,10 @@ class GroupQueue {
       if (stale(it->second)) {
         const int g = it->second;
         entries_.erase(it);
+        pops_ += 1;
         return g;
       }
+      stale_skips_ += 1;
     }
     return std::nullopt;
   }
@@ -100,6 +103,14 @@ class GroupQueue {
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Lifetime push / pop counts and the number of up-to-date entries skipped
+  /// over by pop_best_if while hunting for a stale group (a direct measure of
+  /// how speculative the shared-memory scheduler had to get). Plain integers:
+  /// every caller already serializes queue access.
+  [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
+  [[nodiscard]] std::uint64_t pops() const { return pops_; }
+  [[nodiscard]] std::uint64_t stale_skips() const { return stale_skips_; }
+
  private:
   struct Cmp {
     bool operator()(const std::pair<TaskKey, int>& a,
@@ -110,6 +121,9 @@ class GroupQueue {
     }
   };
   std::set<std::pair<TaskKey, int>, Cmp> entries_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::uint64_t stale_skips_ = 0;
 };
 
 }  // namespace repro::core

@@ -7,6 +7,7 @@
 #include "align/linear_traceback.hpp"
 #include "align/traceback.hpp"
 #include "core/task_queue.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -37,6 +38,7 @@ class SequentialRun {
   }
 
   FinderResult run() {
+    obs::ScopedSpan span(obs::Registry::global(), "finder.run");
     util::WallTimer timer;
     const std::uint64_t cells0 = engine_.cells_computed();
     if (options_.policy == RescanPolicy::kBestFirst) {
@@ -46,6 +48,7 @@ class SequentialRun {
     }
     result_.stats.cells = engine_.cells_computed() - cells0;
     result_.stats.seconds = timer.seconds();
+    publish_finder_stats(result_.stats, m_, "finder.");
     return std::move(result_);
   }
 
@@ -189,6 +192,13 @@ class SequentialRun {
       }
       queue.push(*gi, g.key());
     }
+
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::Registry::global();
+      reg.counter("finder.queue.pushes").add(queue.pushes());
+      reg.counter("finder.queue.pops").add(queue.pops());
+      reg.counter("finder.queue.stale_skips").add(queue.stale_skips());
+    }
   }
 
   void run_exhaustive() {
@@ -283,6 +293,43 @@ TopAlignment accept_alignment(const seq::Sequence& s, const seq::Scoring& scorin
                               align::Score expected) {
   return accept_with_row<std::int16_t>(s, scoring, triangle, original_row, r,
                                        expected);
+}
+
+void publish_finder_stats(const FinderStats& stats, int m,
+                          std::string_view prefix) {
+  if constexpr (!obs::kEnabled) {
+    (void)stats;
+    (void)m;
+    (void)prefix;
+    return;
+  }
+  auto& reg = obs::Registry::global();
+  const auto key = [&prefix](std::string_view name) {
+    std::string k(prefix);
+    k += name;
+    return k;
+  };
+  reg.counter(key("first_alignments")).add(stats.first_alignments);
+  reg.counter(key("realignments")).add(stats.realignments);
+  reg.counter(key("speculative")).add(stats.speculative);
+  reg.counter(key("tracebacks")).add(stats.tracebacks);
+  reg.counter(key("queue_pops")).add(stats.queue_pops);
+  reg.counter(key("cells")).add(stats.cells);
+  reg.timer(key("seconds")).add_seconds(stats.seconds);
+  if (stats.idle_seconds > 0.0)
+    reg.timer(key("idle_seconds")).add_seconds(stats.idle_seconds);
+  if (stats.seconds > 0.0)
+    reg.set_gauge(key("cells_per_sec"),
+                  static_cast<double>(stats.cells) / stats.seconds);
+  if (stats.tracebacks >= 2 && m >= 2) {
+    // Exhaustive-sweep baseline: each of the tops-1 later acceptances would
+    // realign all m-1 rectangles (the first sweep is first-alignments).
+    const double sweep = static_cast<double>(stats.tracebacks - 1) *
+                         static_cast<double>(m - 1);
+    reg.set_gauge(key("realignments_avoided_pct"),
+                  100.0 * (1.0 - static_cast<double>(stats.realignments) /
+                                     sweep));
+  }
 }
 
 FinderResult find_top_alignments(const seq::Sequence& s,

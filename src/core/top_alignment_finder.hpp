@@ -18,6 +18,8 @@
 // accepted top alignments are identical for every engine and group width.
 #pragma once
 
+#include <string_view>
+
 #include "align/bottom_row_store.hpp"
 #include "align/engine.hpp"
 #include "align/override_triangle.hpp"
@@ -62,5 +64,15 @@ TopAlignment accept_alignment(const seq::Sequence& s,
                               align::OverrideTriangle& triangle,
                               std::span<const std::int16_t> original_row, int r,
                               align::Score expected);
+
+/// Publishes a finished run's FinderStats to the global obs registry under
+/// `prefix` (e.g. "finder." / "parallel." / "cluster."): one counter per
+/// stat, a `<prefix>seconds` timer, a `<prefix>cells_per_sec` gauge, and —
+/// when at least two tops were accepted — `<prefix>realignments_avoided_pct`,
+/// the §3 claim measured against the exhaustive-sweep baseline of
+/// (tops-1)*(m-1) realignments. No-op when REPRO_OBS is off. Shared by the
+/// sequential, shared-memory, and distributed finders.
+void publish_finder_stats(const FinderStats& stats, int m,
+                          std::string_view prefix);
 
 }  // namespace repro::core

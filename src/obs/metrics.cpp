@@ -1,0 +1,102 @@
+#include "obs/metrics.hpp"
+
+#include "util/json.hpp"
+
+namespace repro::obs {
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+TimeAccum& Registry::timer(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return *it->second;
+  return *timers_.emplace(std::string(name), std::make_unique<TimeAccum>())
+              .first->second;
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  if constexpr (!kEnabled) return;
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void Registry::record_span(std::string_view name, double start_sec,
+                           double duration_sec) {
+  if constexpr (!kEnabled) return;
+  std::lock_guard lock(mutex_);
+  if (spans_.size() >= kMaxSpans) {
+    ++spans_dropped_;
+    return;
+  }
+  spans_.push_back(Span{std::string(name), start_sec, duration_sec});
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_)
+    snap.counters.emplace(name, counter->value());
+  for (const auto& [name, timer] : timers_)
+    snap.timers_sec.emplace(name, timer->seconds());
+  snap.gauges = gauges_;
+  snap.spans = spans_;
+  snap.spans_dropped = spans_dropped_;
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, timer] : timers_) timer->reset();
+  gauges_.clear();
+  spans_.clear();
+  spans_dropped_ = 0;
+  epoch_.reset();
+}
+
+void Registry::write_json(util::JsonWriter& json) const {
+  const Snapshot snap = snapshot();
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : snap.counters) json.kv(name, value);
+  json.end_object();
+  json.key("timers_sec");
+  json.begin_object();
+  for (const auto& [name, value] : snap.timers_sec) json.kv(name, value);
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : snap.gauges) json.kv(name, value);
+  json.end_object();
+  json.key("spans");
+  json.begin_array();
+  for (const auto& span : snap.spans) {
+    json.begin_object();
+    json.kv("name", span.name);
+    json.kv("start_sec", span.start_sec);
+    json.kv("duration_sec", span.duration_sec);
+    json.end_object();
+  }
+  json.end_array();
+  json.kv("spans_dropped", snap.spans_dropped);
+  json.end_object();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace repro::obs

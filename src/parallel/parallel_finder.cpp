@@ -4,6 +4,7 @@
 #include <exception>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "align/traceback.hpp"
 #include "core/task_queue.hpp"
 #include "core/top_alignment_finder.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -55,21 +57,39 @@ class SharedRun {
       queue_.push(static_cast<int>(gi), groups_[gi].key());
   }
 
-  void worker(align::Engine& engine) {
+  void worker(align::Engine& engine, int thread_index) {
+    double idle = 0.0;
     try {
-      worker_impl(engine);
+      worker_impl(engine, idle);
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!error_) error_ = std::current_exception();
       done_ = true;
       cv_.notify_all();
     }
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::Registry::global();
+      reg.timer("parallel.idle_wait_sec").add_seconds(idle);
+      reg.timer("parallel.idle_wait_sec.t" + std::to_string(thread_index))
+          .add_seconds(idle);
+    }
+    std::lock_guard lock(mutex_);
+    stats_.idle_seconds += idle;
   }
 
   core::FinderResult finish(double seconds, std::uint64_t cells) {
     if (error_) std::rethrow_exception(error_);
     stats_.seconds = seconds;
     stats_.cells = cells;
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::Registry::global();
+      reg.counter("parallel.queue.pushes").add(queue_.pushes());
+      reg.counter("parallel.queue.pops").add(queue_.pops());
+      reg.counter("parallel.queue.stale_skips").add(queue_.stale_skips());
+      reg.counter("parallel.threads").add(
+          static_cast<std::uint64_t>(options_.threads));
+    }
+    core::publish_finder_stats(stats_, s_.length(), "parallel.");
     core::FinderResult res;
     res.tops = std::move(tops_);
     res.stats = stats_;
@@ -84,9 +104,13 @@ class SharedRun {
     return g.version[static_cast<std::size_t>(g.best_member())] != version();
   }
 
-  void worker_impl(align::Engine& engine) {
+  /// `idle` accumulates this thread's cv-wait wall time locally and is
+  /// published once by worker(); per-wait publication would add registry
+  /// traffic inside the scheduler's lock dance.
+  void worker_impl(align::Engine& engine, double& idle) {
     std::vector<std::vector<align::Score>> out_rows(
         static_cast<std::size_t>(engine.lanes()));
+    util::WallTimer wait_timer;
     std::unique_lock lock(mutex_);
     while (!done_) {
       // 1. Acceptance: the head is up to date, nothing in flight can order
@@ -127,7 +151,9 @@ class SharedRun {
         cv_.notify_all();
         return;
       }
+      wait_timer.reset();
       cv_.wait(lock);
+      idle += wait_timer.seconds();
     }
   }
 
@@ -246,7 +272,9 @@ core::FinderResult find_top_alignments_parallel(const seq::Sequence& s,
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(options.threads));
   for (int t = 0; t < options.threads; ++t)
-    threads.emplace_back([&run, &engines, t] { run.worker(*engines[static_cast<std::size_t>(t)]); });
+    threads.emplace_back([&run, &engines, t] {
+      run.worker(*engines[static_cast<std::size_t>(t)], t);
+    });
   for (auto& th : threads) th.join();
 
   std::uint64_t cells = 0;

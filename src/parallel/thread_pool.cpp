@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <atomic>
+#include <exception>
 
 #include "util/check.hpp"
 
@@ -44,8 +45,25 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   const int helpers = std::min(size(), n - 1);
   futures.reserve(static_cast<std::size_t>(helpers));
   for (int t = 0; t < helpers; ++t) futures.push_back(submit(body));
-  body();  // caller participates
-  for (auto& f : futures) f.get();
+  // `next`, `fn` and `body` live on this stack frame, so every worker must
+  // finish before this function exits — even when an iteration throws. Run
+  // the caller's share and drain every future before propagating anything;
+  // the first exception captured (caller's share, then workers in submission
+  // order) wins and none is silently lost.
+  std::exception_ptr error;
+  try {
+    body();  // caller participates
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {

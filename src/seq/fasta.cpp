@@ -16,6 +16,10 @@ std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& alphabet) {
 
   auto flush = [&] {
     if (in_record) {
+      REPRO_CHECK_MSG(!codes.empty(), "FASTA record '"
+                                          << name
+                                          << "' has a header but no sequence "
+                                             "data");
       records.emplace_back(std::move(name), std::move(codes), alphabet);
       name.clear();
       codes = {};

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef REPRO_CLI_PATH
@@ -133,6 +134,59 @@ TEST(Cli, BadEngineNameFails) {
       run_cli("find --fasta " + fasta + " --alphabet dna --engine warp9");
   EXPECT_NE(r.status, 0);
   EXPECT_NE(r.out.find("unknown engine"), std::string::npos);
+}
+
+TEST(Cli, I16EngineRejectsOverflowingSequenceUpfront) {
+  // titin at m=6000 with blosum62 (max score 11) can reach 3000*11 = 33000,
+  // past the i16 ceiling — an explicitly selected i16 engine must be
+  // rejected before any alignment runs, with a 32-bit alternative named.
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind titin --length 6000 --out " + fasta)
+                .status, 0);
+  const RunResult r =
+      run_cli("find --fasta " + fasta + " --tops 1 --engine simd8");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.out.find("32767"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("32-bit"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("simd8x32"), std::string::npos) << r.out;
+}
+
+TEST(Cli, I16GuardDoesNotBlockSafeRuns) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind titin --length 300 --out " + fasta)
+                .status, 0);
+  const RunResult r =
+      run_cli("find --fasta " + fasta + " --tops 2 --engine scalar");
+  EXPECT_EQ(r.status, 0) << r.out;
+}
+
+TEST(Cli, MetricsJsonWritesPerfRecord) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind titin --length 300 --out " + fasta)
+                .status, 0);
+  const auto metrics_path =
+      (std::filesystem::temp_directory_path() / "reprofind_metrics_test.json")
+          .string();
+  std::filesystem::remove(metrics_path);
+  const RunResult r = run_cli("find --fasta " + fasta +
+                              " --tops 3 --engine scalar --metrics-json " +
+                              metrics_path);
+  ASSERT_EQ(r.status, 0) << r.out;
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good()) << "metrics file was not written";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"schema\":\"repro-metrics-v1\""), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"name\":\"reprofind.find\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"engine\":\"scalar\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"cells\":"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"tracebacks\":"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"registry\":{"), std::string::npos) << doc;
+  const auto open_braces = std::count(doc.begin(), doc.end(), '{');
+  const auto close_braces = std::count(doc.begin(), doc.end(), '}');
+  EXPECT_EQ(open_braces, close_braces);
 }
 
 }  // namespace

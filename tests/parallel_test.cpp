@@ -39,6 +39,37 @@ TEST(ThreadPool, ParallelForCoversRange) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ParallelForPropagatesTaskException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(64, [](int i) {
+      if (i % 7 == 0) throw std::runtime_error("task failed");
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+}
+
+TEST(ThreadPool, ParallelForDrainsAllWorkersBeforeThrowing) {
+  // parallel_for's loop state lives on the caller's stack; every worker
+  // future must be awaited before the exception escapes, or the pool would
+  // race on dead stack frames. Observable contract: the pool is immediately
+  // reusable and later runs see no leftover work.
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [](int i) {
+                            if (i == 3) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    std::atomic<int> covered{0};
+    pool.parallel_for(50, [&covered](int) { covered.fetch_add(1); });
+    EXPECT_EQ(covered.load(), 50);
+  }
+}
+
 class ParallelFinderTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelFinderTest, MatchesSequentialForAnyThreadCount) {

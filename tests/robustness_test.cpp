@@ -118,12 +118,17 @@ TEST(HostileInput, FastaGarbageIsRejectedCleanly) {
   }
 }
 
-TEST(HostileInput, FastaHeaderOnlyRecord) {
+TEST(HostileInput, FastaHeaderOnlyRecordIsRejected) {
+  // A header with no sequence body is malformed input, not an empty
+  // sequence: every downstream consumer assumes length >= 1.
   std::istringstream in(">empty-record\n>second\nACGT\n");
-  const auto records = seq::read_fasta(in, Alphabet::dna());
-  ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[0].length(), 0);
-  EXPECT_EQ(records[1].to_string(), "ACGT");
+  try {
+    (void)seq::read_fasta(in, Alphabet::dna());
+    FAIL() << "header-only record was accepted";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("empty-record"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(HostileInput, MissingFastaFileThrows) {

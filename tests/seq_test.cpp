@@ -85,6 +85,39 @@ TEST(Fasta, InvalidResidueThrows) {
   EXPECT_THROW(read_fasta(in, Alphabet::dna()), std::logic_error);
 }
 
+TEST(Fasta, HeaderOnlyRecordMidFileThrowsWithName) {
+  std::istringstream in(">first\n>second\nACGT\n");
+  try {
+    (void)read_fasta(in, Alphabet::dna());
+    FAIL() << "header-only record was accepted";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Fasta, HeaderOnlyRecordAtEofThrowsWithName) {
+  std::istringstream in(">ok\nACGT\n>trailing desc\n");
+  try {
+    (void)read_fasta(in, Alphabet::dna());
+    FAIL() << "trailing header-only record was accepted";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing desc"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Fasta, CrlfHeaderOnlyRecordThrows) {
+  // CRLF line endings strip to an empty body, not a one-char '\r' body.
+  std::istringstream in(">empty\r\n>two\r\nACGT\r\n");
+  EXPECT_THROW(read_fasta(in, Alphabet::dna()), std::logic_error);
+}
+
+TEST(Fasta, WhitespaceOnlyBodyThrows) {
+  std::istringstream in(">blank\n   \n\t\n");
+  EXPECT_THROW(read_fasta(in, Alphabet::dna()), std::logic_error);
+}
+
 TEST(Fasta, WriteReadRoundTrip) {
   std::vector<Sequence> recs;
   recs.push_back(Sequence::from_string("alpha", "ACGTACGTACGT", Alphabet::dna()));

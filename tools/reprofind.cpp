@@ -15,6 +15,8 @@
 #include "core/consensus.hpp"
 #include "core/delineate.hpp"
 #include "core/top_alignment_finder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "parallel/parallel_finder.hpp"
 #include "seq/fasta.hpp"
 #include "seq/generator.hpp"
@@ -151,7 +153,10 @@ int cmd_find(int argc, char** argv) {
                    {"linear-traceback", "O(rows+cols)-memory traceback"},
                    {"repeats", "also delineate repeat regions"},
                    {"alignments", "print the gapped alignments (text format)"},
-                   {"format", "text (default) | json | csv"}});
+                   {"format", "text (default) | json | csv"},
+                   {"metrics-json",
+                    "write a repro-metrics-v1 perf record (run counters + "
+                    "the obs registry) to this path"}});
   if (args.help_requested()) return 0;
   REPRO_CHECK_MSG(args.has("fasta"), "--fasta is required (see --help)");
 
@@ -175,6 +180,19 @@ int cmd_find(int argc, char** argv) {
   const std::string engine_name = args.get("engine", "best");
   const bool want_repeats = args.get_flag("repeats");
   const std::string format = args.get("format", "text");
+  const std::string metrics_path = args.get("metrics-json", "");
+
+  // An explicitly selected i16 engine saturates at 32767; fail upfront with
+  // the 32-bit alternatives rather than deep inside a kernel. ("best" picks
+  // widths per host, and its i16 kernels still detect actual saturation.)
+  if (engine_name != "best") {
+    const align::EngineKind kind = engine_kind_from(engine_name);
+    for (const auto& record : records)
+      align::check_i16_headroom(kind, record.length(), scoring);
+  }
+
+  core::FinderStats total_stats;
+  std::uint64_t total_tops = 0;
 
   util::JsonWriter json;
   if (format == "json") json.begin_array();
@@ -199,6 +217,16 @@ int cmd_find(int argc, char** argv) {
                               : align::make_engine(engine_kind_from(engine_name));
       res = core::find_top_alignments(record, scoring, opt, *engine);
     }
+    total_stats.first_alignments += res.stats.first_alignments;
+    total_stats.realignments += res.stats.realignments;
+    total_stats.speculative += res.stats.speculative;
+    total_stats.tracebacks += res.stats.tracebacks;
+    total_stats.queue_pops += res.stats.queue_pops;
+    total_stats.cells += res.stats.cells;
+    total_stats.seconds += res.stats.seconds;
+    total_stats.idle_seconds += res.stats.idle_seconds;
+    total_tops += res.tops.size();
+
     std::vector<core::RepeatRegion> regions;
     if (want_repeats) regions = core::delineate_repeats(record, res.tops);
 
@@ -219,6 +247,28 @@ int cmd_find(int argc, char** argv) {
   if (format == "json") {
     json.end_array();
     std::cout << json.str() << '\n';
+  }
+
+  if (!metrics_path.empty()) {
+    obs::MetricsReport report("reprofind.find");
+    report.param("fasta", args.get("fasta", ""));
+    report.param("engine", engine_name);
+    report.param("threads", threads);
+    report.param("tops_requested", opt.num_top_alignments);
+    report.param("sequences", static_cast<std::int64_t>(records.size()));
+    report.metric("seconds", total_stats.seconds);
+    if (total_stats.seconds > 0.0)
+      report.metric("cells_per_sec", static_cast<double>(total_stats.cells) /
+                                         total_stats.seconds);
+    report.counter("cells", total_stats.cells);
+    report.counter("first_alignments", total_stats.first_alignments);
+    report.counter("realignments", total_stats.realignments);
+    report.counter("speculative", total_stats.speculative);
+    report.counter("tracebacks", total_stats.tracebacks);
+    report.counter("queue_pops", total_stats.queue_pops);
+    report.counter("tops_found", total_tops);
+    report.include_registry(obs::Registry::global());
+    report.write_file(metrics_path);
   }
   return 0;
 }

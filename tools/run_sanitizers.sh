@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under ASan+UBSan and TSan.
+#
+# Usage: tools/run_sanitizers.sh [address|thread]...
+# With no arguments both sanitizers run. Each uses its own build tree
+# (build-asan / build-tsan) so the regular build/ stays untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+sanitizers=("$@")
+[ ${#sanitizers[@]} -eq 0 ] && sanitizers=(address thread)
+
+status=0
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address) dir=build-asan ;;
+    thread)  dir=build-tsan ;;
+    *) echo "unknown sanitizer '$san' (expected address or thread)" >&2; exit 2 ;;
+  esac
+  echo "=== $san sanitizer: configure + build ($dir) ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DREPRO_SANITIZE="$san" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+  echo "=== $san sanitizer: ctest ==="
+  if (cd "$dir" && ctest --output-on-failure -j "$jobs"); then
+    echo "=== $san sanitizer: PASS ==="
+  else
+    echo "=== $san sanitizer: FAIL ==="
+    status=1
+  fi
+done
+exit $status
