@@ -16,6 +16,19 @@ namespace repro::bench {
 
 /// Standard help text for the benches' --json flag; every table bench
 /// accepts it and writes one BENCH_<name>.json-style perf record.
+///
+/// JSON parity note (the de-facto bench/README): the table benches
+/// (bench_scheduler, bench_table*) emit the repro-metrics-v1 format below
+/// via --json <path>. bench_kernels is a google-benchmark binary and does
+/// NOT take --json; machine-readable output comes from google-benchmark's
+/// native serializer instead:
+///
+///   bench_kernels --benchmark_format=json [--benchmark_out=<path>]
+///
+/// which carries the same per-benchmark counters (cells/s, sweeps/s) as the
+/// human-readable console table. tools/bench_smoke.sh consumes both formats
+/// and compares bench_scheduler's record against the checked-in
+/// BENCH_scheduler.json baseline.
 inline constexpr const char* kJsonFlagHelp =
     "write a repro-metrics-v1 JSON perf record to this path";
 

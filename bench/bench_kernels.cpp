@@ -93,6 +93,73 @@ BENCHMARK(BM_Simd8Sse2)->Arg(1000)->Arg(3000);
 #endif
 BENCHMARK(BM_Simd16Avx2)->Arg(1000)->Arg(3000);
 
+// Checkpoint-resume kernel cost: a sweep resumed from a saved (H, MaxY) row
+// state at 50 % / 90 % of the group's depth versus the same sweep from
+// scratch (depth 0). The per-sweep rate ("sweeps/s") shows the resume win;
+// cells/s stays flat because resumed rows are discounted from the counter.
+void run_resume_bench(benchmark::State& state, align::EngineKind kind) {
+  const int m = static_cast<int>(state.range(0));
+  const int pct = static_cast<int>(state.range(1));
+  const auto& s = titin(m);
+  const auto engine = align::make_engine(kind);
+  const int r0 = m / 2;
+  const int count = engine->lanes();
+  std::vector<std::vector<align::Score>> store(static_cast<std::size_t>(count));
+  std::vector<std::span<align::Score>> outs(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    store[static_cast<std::size_t>(k)].resize(static_cast<std::size_t>(m - (r0 + k)));
+    outs[static_cast<std::size_t>(k)] = store[static_cast<std::size_t>(k)];
+  }
+  align::GroupJob job;
+  job.seq = s.codes();
+  job.scoring = &scoring();
+  job.r0 = r0;
+  job.count = count;
+  align::CheckpointSink sink;
+  align::CheckpointView view;
+  if (pct > 0) {
+    const int row = std::max(1, (r0 - 1) * pct / 100);
+    sink.stride = row;  // emits rows row, 2*row, ... plus r0-1
+    sink.top_row = r0 - 1;
+    job.sink = &sink;
+    engine->align(job, outs);
+    job.sink = nullptr;
+    for (int t = 0; t < sink.count; ++t) {
+      const align::CheckpointRow& cr = sink.rows[static_cast<std::size_t>(t)];
+      if (cr.row != row) continue;
+      view.row = cr.row;
+      view.lanes = sink.lanes;
+      view.elem_size = sink.elem_size;
+      view.h = cr.h.data();
+      view.max_y = cr.max_y.data();
+      view.bytes = cr.h.size();
+      job.resume = &view;
+    }
+  }
+  for (auto _ : state) {
+    engine->align(job, outs);
+    benchmark::DoNotOptimize(store[0].data());
+  }
+  state.counters["sweeps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(engine->cells_computed()), benchmark::Counter::kIsRate);
+}
+void BM_ScalarResume(benchmark::State& state) {
+  run_resume_bench(state, align::EngineKind::kScalar);
+}
+void BM_Simd8GenericResume(benchmark::State& state) {
+  run_resume_bench(state, align::EngineKind::kSimd8Generic);
+}
+BENCHMARK(BM_ScalarResume)
+    ->Args({2000, 0})
+    ->Args({2000, 50})
+    ->Args({2000, 90});
+BENCHMARK(BM_Simd8GenericResume)
+    ->Args({2000, 0})
+    ->Args({2000, 50})
+    ->Args({2000, 90});
+
 void BM_GeneralGapCell(benchmark::State& state) {
   // The old algorithm's O(n)/cell kernel on a small rectangle.
   const int m = static_cast<int>(state.range(0));

@@ -1,0 +1,118 @@
+// Checkpoint-resume realignment cache.
+//
+// The override triangle only ever grows, so when a rectangle is realigned
+// every DP row above the topmost newly-overridden pair is bit-identical to
+// the previous sweep. Kernels therefore emit their interleaved (H, MaxY) row
+// state on a coarse grid (CheckpointSink), this cache keeps those rows per
+// group under a global byte budget, and the finder resumes subsequent sweeps
+// below the deepest row that is still clean — turning an O(r x n)
+// realignment into O((r - i_min) x n).
+//
+// Validity model (all rows are 1-based DP rows of the group's rectangles):
+//   * A checkpoint taken by an *overridden* sweep reflects the triangle at
+//     the time of the sweep. Row y depends only on override bits of pairs
+//     (i, j) with i <= y-1 and j >= r0; invalidate() drops rows >= the
+//     accepted alignment's min dirty row, so surviving overridden rows are
+//     always current.
+//   * A checkpoint taken by a *plain* (empty-triangle) sweep is permanently
+//     valid for plain sweeps, and valid for overridden sweeps up to the
+//     group's global clean limit (no accepted pair intersects rows above
+//     it). find() takes that limit from the caller.
+//
+// The cache is single-threaded by contract (like engines); parallel workers
+// each own a partition of the byte budget.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "align/types.hpp"
+
+namespace repro::align {
+
+/// Sorted index over one accepted alignment's (i, j) pair list, answering
+/// "what is the smallest dirty DP row of the rectangle group at split r0?"
+/// in O(log pairs). Shared by checkpoint invalidation and the low-memory
+/// untouched-lane skip.
+class PairDirtyIndex {
+ public:
+  static constexpr int kNoDirtyRow = std::numeric_limits<int>::max();
+
+  PairDirtyIndex() = default;
+  explicit PairDirtyIndex(std::span<const std::pair<int, int>> pairs);
+
+  /// Smallest dirty DP row for rectangles with columns j >= r0: the minimum
+  /// i+1 over pairs with j >= r0, or kNoDirtyRow when no pair reaches the
+  /// group's columns. Rows y < min_dirty_row(r0) are unaffected by these
+  /// pairs; lane r is untouched entirely iff min_dirty_row(r) > r.
+  [[nodiscard]] int min_dirty_row(int r0) const;
+
+  [[nodiscard]] bool empty() const { return j_.empty(); }
+
+ private:
+  std::vector<int> j_;             ///< ascending
+  std::vector<int> suffix_min_i_;  ///< min i over pairs with index >= t
+};
+
+struct CheckpointCacheStats {
+  std::uint64_t hits = 0;       ///< find() returned a usable checkpoint
+  std::uint64_t misses = 0;     ///< find() had nothing usable
+  std::uint64_t evictions = 0;  ///< group entries dropped by the byte budget
+  std::uint64_t invalidated_rows = 0;  ///< rows dropped by triangle growth
+};
+
+class CheckpointCache {
+ public:
+  static constexpr std::size_t kDefaultBudget = std::size_t{256} << 20;
+
+  explicit CheckpointCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+  /// Deepest usable checkpoint for a sweep of the group at r0, or nullopt.
+  /// Plain sweeps consult only plain entries (always valid); overridden
+  /// sweeps take the deeper of the overridden entry (kept current by
+  /// invalidate()) and plain rows with row <= `plain_valid_limit` (the
+  /// caller's global clean limit for this group).
+  /// The view stays valid until the next store/invalidate call.
+  [[nodiscard]] std::optional<CheckpointView> find(int r0, bool plain_sweep,
+                                                   int plain_valid_limit);
+
+  /// Merges a sweep's staged rows into the (r0, plain_class) entry —
+  /// replacing same-row buffers by swap, so warm stores recycle storage —
+  /// sets the entry's eviction priority to the group's current best score,
+  /// and evicts lowest-priority entries while over budget. Consumes the
+  /// sink's live prefix.
+  void store(int r0, bool plain_class, Score priority, CheckpointSink& sink);
+
+  /// Applies one accepted alignment: every overridden entry drops its rows
+  /// >= the alignment's min dirty row for that group. Plain entries are
+  /// untouched (their validity is clamped at find() time instead).
+  void invalidate(const PairDirtyIndex& dirty);
+
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t budget() const { return budget_; }
+  [[nodiscard]] const CheckpointCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Score priority = 0;
+    int lanes = 0;
+    int elem_size = 0;
+    std::size_t bytes = 0;
+    std::vector<CheckpointRow> rows;  ///< ascending by row
+  };
+  using Key = std::pair<int, bool>;  ///< (r0, plain_class)
+
+  void evict_over_budget(const Key& keep_last);
+
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::map<Key, Entry> entries_;
+  CheckpointCacheStats stats_;
+};
+
+}  // namespace repro::align

@@ -28,6 +28,12 @@ class Engine {
   /// consecutive splits (the last group of a sequence may be partial).
   [[nodiscard]] virtual int lanes() const = 0;
 
+  /// True when do_align honours GroupJob::resume / GroupJob::sink
+  /// (checkpoint-resume realignment). Engines that ignore those fields are
+  /// still correct — they always sweep from row 1 — but callers should not
+  /// offer them resume state, and the wrapper gives them no cell discount.
+  [[nodiscard]] virtual bool supports_checkpoints() const { return false; }
+
   /// Computes bottom rows for splits job.r0 .. job.r0+job.count-1.
   /// out[k] must have exactly m - (job.r0 + k) elements. Non-virtual: the
   /// wrapper centralizes the cell/alignment accounting (identical for every
@@ -48,9 +54,14 @@ class Engine {
   /// Group alignments performed since construction.
   [[nodiscard]] std::uint64_t alignments_performed() const { return aligns_; }
 
+  /// Lane-cells skipped by checkpoint resumes (rows restored instead of
+  /// computed); cells_computed() already excludes them.
+  [[nodiscard]] std::uint64_t cells_skipped() const { return cells_skipped_; }
+
   void reset_counters() {
     cells_ = 0;
     aligns_ = 0;
+    cells_skipped_ = 0;
   }
 
  protected:
@@ -62,6 +73,7 @@ class Engine {
  private:
   std::uint64_t cells_ = 0;
   std::uint64_t aligns_ = 0;
+  std::uint64_t cells_skipped_ = 0;
 };
 
 enum class EngineKind {

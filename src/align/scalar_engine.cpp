@@ -1,6 +1,13 @@
 // The conventional (non-SIMD) score-only kernel: the Fig.-3 recurrence with
 // running gap maxima, one row of state, O(1) work per cell.
+//
+// Checkpoint layout (lanes = 1, elem = Score): the h/max_y buffers hold the
+// cols values for x = 1..cols at byte offset (x-1)*sizeof(Score) — exactly
+// the kernel's row state minus the constant boundary column. The same layout
+// is produced by the striped scalar engine (row state is striping-invariant),
+// so their checkpoints are interchangeable.
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "align/engine_detail.hpp"
@@ -13,6 +20,7 @@ class ScalarEngine final : public Engine {
  public:
   [[nodiscard]] std::string name() const override { return "scalar"; }
   [[nodiscard]] int lanes() const override { return 1; }
+  [[nodiscard]] bool supports_checkpoints() const override { return true; }
 
  protected:
   void do_align(const GroupJob& job,
@@ -26,11 +34,39 @@ class ScalarEngine final : public Engine {
     const seq::ScoreMatrix& ex = job.scoring->matrix;
     const Score open = job.scoring->gap.open;
     const Score ext = job.scoring->gap.extend;
+    const std::size_t state_bytes =
+        static_cast<std::size_t>(cols) * sizeof(Score);
 
-    h_.assign(static_cast<std::size_t>(cols) + 1, 0);
-    max_y_.assign(static_cast<std::size_t>(cols) + 1, kNegInf);
+    int y_begin = 1;
+    if (job.resume != nullptr) {
+      const CheckpointView& ck = *job.resume;
+      REPRO_CHECK_MSG(ck.lanes == 1 &&
+                          ck.elem_size == static_cast<int>(sizeof(Score)) &&
+                          ck.bytes == state_bytes && ck.row >= 1 && ck.row < r,
+                      "checkpoint state does not match the scalar kernel "
+                      "(r=" << r << ")");
+      h_.resize(static_cast<std::size_t>(cols) + 1);
+      max_y_.resize(static_cast<std::size_t>(cols) + 1);
+      h_[0] = 0;
+      max_y_[0] = kNegInf;
+      std::memcpy(h_.data() + 1, ck.h, state_bytes);
+      std::memcpy(max_y_.data() + 1, ck.max_y, state_bytes);
+      y_begin = ck.row + 1;
+    } else {
+      h_.assign(static_cast<std::size_t>(cols) + 1, 0);
+      max_y_.assign(static_cast<std::size_t>(cols) + 1, kNegInf);
+    }
 
-    for (int y = 1; y <= rows; ++y) {
+    CheckpointSink* sink = job.sink;
+    if (sink != nullptr) {
+      REPRO_CHECK(sink->stride >= 1);
+      sink->lanes = 1;
+      sink->elem_size = static_cast<int>(sizeof(Score));
+      sink->prepare(y_begin, std::min(sink->top_row, r - 1), state_bytes);
+    }
+    int emit_idx = 0;
+
+    for (int y = y_begin; y <= rows; ++y) {
       const int i = y - 1;  // global prefix position
       const std::int16_t* erow = ex.row(seq[static_cast<std::size_t>(i)]);
       const std::atomic<std::uint64_t>* obits =
@@ -52,9 +88,16 @@ class ScalarEngine final : public Engine {
             std::max(diag - open, max_y_[static_cast<std::size_t>(x)]) - ext;
         diag = up;
       }
+      if (sink != nullptr && emit_idx < sink->count &&
+          y == sink->rows[static_cast<std::size_t>(emit_idx)].row) {
+        CheckpointRow& cr = sink->rows[static_cast<std::size_t>(emit_idx)];
+        std::memcpy(cr.h.data(), h_.data() + 1, state_bytes);
+        std::memcpy(cr.max_y.data(), max_y_.data() + 1, state_bytes);
+        ++emit_idx;
+      }
     }
 
-    std::copy(h_.begin() + 1, h_.end(), out[0].begin());
+    std::copy(h_.begin() + 1, h_.begin() + 1 + cols, out[0].begin());
   }
 
  private:

@@ -84,6 +84,7 @@ class SimdEngineT final : public Engine {
 
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] int lanes() const override { return Ops::kLanes; }
+  [[nodiscard]] bool supports_checkpoints() const override { return true; }
 
  protected:
   void do_align(const GroupJob& job,
@@ -139,11 +140,20 @@ std::unique_ptr<Engine> make_simd32_generic_engine(int lanes, int stripe_cols) {
 void Engine::align(const GroupJob& job, std::span<const std::span<Score>> out) {
   do_align(job, out);
   const auto m = static_cast<std::uint64_t>(job.seq.size());
+  const std::uint64_t width = m - static_cast<std::uint64_t>(job.r0);
+  // Rows restored from a checkpoint are never computed; count them apart so
+  // cells/sec stays an honest throughput number.
+  const std::uint64_t resumed_rows =
+      (job.resume != nullptr && supports_checkpoints())
+          ? static_cast<std::uint64_t>(job.resume->row)
+          : 0;
   const std::uint64_t group_cells =
-      static_cast<std::uint64_t>(job.r0 + job.count - 1) *
-      (m - static_cast<std::uint64_t>(job.r0)) *
-      static_cast<std::uint64_t>(lanes());
+      (static_cast<std::uint64_t>(job.r0 + job.count - 1) - resumed_rows) *
+      width * static_cast<std::uint64_t>(lanes());
+  const std::uint64_t skipped_cells =
+      resumed_rows * width * static_cast<std::uint64_t>(lanes());
   cells_ += group_cells;
+  cells_skipped_ += skipped_cells;
   aligns_ += 1;
   if constexpr (obs::kEnabled) {
     // Slots fetched once per process; per group alignment this is two
@@ -154,6 +164,11 @@ void Engine::align(const GroupJob& job, std::span<const std::span<Score>> out) {
         obs::Registry::global().counter("align.group_alignments");
     lane_cells.add(group_cells);
     group_alignments.add(1);
+    if (skipped_cells > 0) {
+      static obs::Counter& lane_cells_skipped =
+          obs::Registry::global().counter("align.lane_cells_skipped");
+      lane_cells_skipped.add(skipped_cells);
+    }
   }
 }
 

@@ -35,6 +35,7 @@ class Avx2Engine final : public Engine {
 
   [[nodiscard]] std::string name() const override { return "simd16-avx2"; }
   [[nodiscard]] int lanes() const override { return 16; }
+  [[nodiscard]] bool supports_checkpoints() const override { return true; }
 
  protected:
   void do_align(const GroupJob& job,
@@ -75,6 +76,7 @@ class Avx2Engine32 final : public Engine {
 
   [[nodiscard]] std::string name() const override { return "simd8x32-avx2"; }
   [[nodiscard]] int lanes() const override { return 8; }
+  [[nodiscard]] bool supports_checkpoints() const override { return true; }
 
  protected:
   void do_align(const GroupJob& job,

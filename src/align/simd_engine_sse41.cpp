@@ -39,6 +39,7 @@ class Sse41Engine final : public Engine {
 
   [[nodiscard]] std::string name() const override { return "simd4x32-sse41"; }
   [[nodiscard]] int lanes() const override { return 4; }
+  [[nodiscard]] bool supports_checkpoints() const override { return true; }
 
  protected:
   void do_align(const GroupJob& job,

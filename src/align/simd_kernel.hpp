@@ -35,6 +35,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -162,7 +163,17 @@ struct SimdScratchT {
   std::vector<Elem, util::AlignedAllocator<Elem>> max_y;
   std::vector<Elem, util::AlignedAllocator<Elem>> carry_h;
   std::vector<Elem, util::AlignedAllocator<Elem>> carry_mx;
+  /// Per-stripe diagonal entry vectors captured from a restored checkpoint
+  /// (one cache-line-aligned slot per stripe; see run_simd_group).
+  std::vector<Elem, util::AlignedAllocator<Elem>> resume_diag;
 };
+
+/// resize() that never shrinks: steady-state sweeps reuse capacity, and the
+/// slack past the live size is never read.
+template <typename V>
+inline void grow_to(V& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+}
 
 using SimdScratch = SimdScratchT<std::int16_t>;
 
@@ -213,23 +224,85 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
   auto& max_y = scratch.max_y;
   auto& carry_h = scratch.carry_h;
   auto& carry_mx = scratch.carry_mx;
-  h.assign(static_cast<std::size_t>(width) * L, 0);
-  max_y.assign(static_cast<std::size_t>(width) * L, neg_inf_of<Elem>());
+  const std::size_t state_elems = static_cast<std::size_t>(width) * L;
+  const std::size_t state_bytes = state_elems * sizeof(Elem);
+
+  // Checkpoint resume: restore the interleaved (H, MaxY) state as the kernel
+  // left it after DP row resume->row and re-enter the sweep one row below.
+  // Stripe carries need no restoring — during the resumed sweep every carry
+  // of a row >= y_begin is written by an earlier stripe before a later
+  // stripe reads it; the only checkpoint-sourced carry is each stripe's
+  // initial diagonal (H[y_begin-1][c0-1]), captured below.
+  int y_begin = 1;
+  if (job.resume != nullptr) {
+    const CheckpointView& ck = *job.resume;
+    REPRO_CHECK_MSG(ck.lanes == L &&
+                        ck.elem_size == static_cast<int>(sizeof(Elem)) &&
+                        ck.bytes == state_bytes && ck.row >= 1 && ck.row < r0,
+                    "checkpoint state does not match this kernel's layout "
+                    "(group r0=" << r0 << ")");
+    grow_to(h, state_elems);
+    grow_to(max_y, state_elems);
+    std::memcpy(h.data(), ck.h, state_bytes);
+    std::memcpy(max_y.data(), ck.max_y, state_bytes);
+    y_begin = ck.row + 1;
+  } else {
+    h.assign(state_elems, 0);
+    max_y.assign(state_elems, neg_inf_of<Elem>());
+  }
+  const bool resumed = y_begin > 1;
 
   const int stripe = stripe_cols <= 0 ? width : stripe_cols;
   const bool striped = stripe < width;
   if (striped) {
-    carry_h.assign(static_cast<std::size_t>(rows + 1) * L, 0);
-    carry_mx.assign(static_cast<std::size_t>(rows + 1) * L, neg_inf_of<Elem>());
+    // Grow-only: carry values are only ever read after an earlier stripe of
+    // the same sweep wrote them (the stripe-0 carry_h read feeds a diagonal
+    // that stripe 0 never uses), so stale contents are harmless.
+    grow_to(carry_h, static_cast<std::size_t>(rows + 1) * L);
+    grow_to(carry_mx, static_cast<std::size_t>(rows + 1) * L);
+  }
+
+  // A restored stripe's first row needs the checkpoint's H at the column
+  // left of the stripe as its diagonal, but earlier stripes overwrite h[]
+  // while they sweep — capture those vectors up front, one 64-byte slot per
+  // stripe so the aligned vector loads stay legal.
+  constexpr int kDiagSlot = static_cast<int>(util::kCacheLine / sizeof(Elem));
+  auto& resume_diag = scratch.resume_diag;
+  if (resumed && striped) {
+    const int nstripes = (width + stripe - 1) / stripe;
+    grow_to(resume_diag, static_cast<std::size_t>(nstripes) * kDiagSlot);
+    for (int s = 1; s < nstripes; ++s)
+      std::memcpy(
+          resume_diag.data() + static_cast<std::size_t>(s) * kDiagSlot,
+          h.data() + (static_cast<std::size_t>(s) * stripe - 1) * L,
+          sizeof(Elem) * L);
+  }
+
+  // Checkpoint emission grid: rows on the sink's stride plus its top row,
+  // clamped above every lane's bottom row so outputs are always recomputed.
+  CheckpointSink* sink = job.sink;
+  if (sink != nullptr) {
+    REPRO_CHECK(sink->stride >= 1);
+    sink->lanes = L;
+    sink->elem_size = static_cast<int>(sizeof(Elem));
+    sink->prepare(y_begin, std::min(sink->top_row, r0 - 1), state_bytes);
   }
 
   Vec v_peak = v_zero;  // running max of valid lane-cells (saturation guard)
+  // Rows <= y_begin-1 were certified by the sweep that emitted the restored
+  // checkpoint (saturating sweeps throw before their checkpoints are kept).
 
   for (int c0 = 0; c0 < width; c0 += stripe) {
     const int c1 = std::min(width, c0 + stripe);
-    // Boundary row (y = 0) carry: H = 0, MaxX = -inf.
+    // Boundary row (y = 0) carry: H = 0, MaxX = -inf. Resumed stripes past
+    // the first instead enter with the checkpoint's diagonal.
     Vec old_carry_above = v_zero;
-    for (int y = 1; y <= rows; ++y) {
+    if (resumed && c0 > 0)
+      old_carry_above = Ops::load(
+          resume_diag.data() +
+          static_cast<std::size_t>(c0 / stripe) * kDiagSlot);
+    int emit_idx = 0;
+    for (int y = y_begin; y <= rows; ++y) {
       const int i = y - 1;
       const std::int16_t* erow = ex.row(seq[static_cast<std::size_t>(i)]);
       const std::atomic<std::uint64_t>* obits =
@@ -280,6 +353,20 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
         for (int c = std::max(c0, k); c < c1; ++c)
           row_out[static_cast<std::size_t>(c - k)] = static_cast<Score>(
               h[static_cast<std::size_t>(c) * L + static_cast<std::size_t>(k)]);
+      }
+      // Emit this stripe's slice of a checkpoint row: h/max_y now hold
+      // exactly the state a resume at row y+1 restores.
+      if (sink != nullptr && emit_idx < sink->count &&
+          y == sink->rows[static_cast<std::size_t>(emit_idx)].row) {
+        CheckpointRow& cr = sink->rows[static_cast<std::size_t>(emit_idx)];
+        const std::size_t off = static_cast<std::size_t>(c0) * L * sizeof(Elem);
+        const std::size_t len =
+            static_cast<std::size_t>(c1 - c0) * L * sizeof(Elem);
+        std::memcpy(cr.h.data() + off,
+                    h.data() + static_cast<std::size_t>(c0) * L, len);
+        std::memcpy(cr.max_y.data() + off,
+                    max_y.data() + static_cast<std::size_t>(c0) * L, len);
+        ++emit_idx;
       }
     }
   }

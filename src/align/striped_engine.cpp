@@ -1,7 +1,15 @@
 // Cache-aware scalar kernel (§4.1 of the paper): the matrix is computed in
 // vertical stripes whose row-state (previous row + MaxY) fits in L1, at the
 // cost of carrying per-row (H, MaxX) values across stripe boundaries.
+//
+// Checkpoints use the same layout as the plain scalar engine (lanes = 1,
+// elem = Score, full-width row state): the row state is striping-invariant,
+// each stripe simply restores/emits its own slice. Stripe carries are never
+// checkpointed — during a resumed sweep every carry of a computed row is
+// written by an earlier stripe before a later stripe reads it; only each
+// stripe's entry diagonal comes from the checkpoint.
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "align/engine_detail.hpp"
@@ -25,6 +33,7 @@ class ScalarStripedEngine final : public Engine {
 
   [[nodiscard]] std::string name() const override { return "scalar-striped"; }
   [[nodiscard]] int lanes() const override { return 1; }
+  [[nodiscard]] bool supports_checkpoints() const override { return true; }
 
  protected:
   void do_align(const GroupJob& job,
@@ -39,22 +48,65 @@ class ScalarStripedEngine final : public Engine {
     const Score open = job.scoring->gap.open;
     const Score ext = job.scoring->gap.extend;
     const int stripe = stripe_cols_ == -1 ? cols : stripe_cols_;
+    const std::size_t state_bytes =
+        static_cast<std::size_t>(cols) * sizeof(Score);
+
+    int y_begin = 1;
+    const Score* ck_h = nullptr;
+    const Score* ck_my = nullptr;
+    if (job.resume != nullptr) {
+      const CheckpointView& ck = *job.resume;
+      REPRO_CHECK_MSG(ck.lanes == 1 &&
+                          ck.elem_size == static_cast<int>(sizeof(Score)) &&
+                          ck.bytes == state_bytes && ck.row >= 1 && ck.row < r,
+                      "checkpoint state does not match the striped scalar "
+                      "kernel (r=" << r << ")");
+      ck_h = reinterpret_cast<const Score*>(ck.h);
+      ck_my = reinterpret_cast<const Score*>(ck.max_y);
+      y_begin = ck.row + 1;
+    }
+    const bool resumed = y_begin > 1;
+
+    CheckpointSink* sink = job.sink;
+    if (sink != nullptr) {
+      REPRO_CHECK(sink->stride >= 1);
+      sink->lanes = 1;
+      sink->elem_size = static_cast<int>(sizeof(Score));
+      sink->prepare(y_begin, std::min(sink->top_row, r - 1), state_bytes);
+    }
 
     // Carries across stripe boundaries, indexed by row: H at the stripe's
-    // last column and the running MaxX leaving the stripe.
-    carry_h_.assign(static_cast<std::size_t>(rows) + 1, 0);
-    carry_mx_.assign(static_cast<std::size_t>(rows) + 1, kNegInf);
+    // last column and the running MaxX leaving the stripe. Grow-only: every
+    // carry of a computed row is written by an earlier stripe before a later
+    // stripe reads it (the stripe-0 carry_h read feeds a diagonal only used
+    // by later stripes).
+    if (carry_h_.size() < static_cast<std::size_t>(rows) + 1) {
+      carry_h_.resize(static_cast<std::size_t>(rows) + 1);
+      carry_mx_.resize(static_cast<std::size_t>(rows) + 1);
+    }
 
-    h_.assign(static_cast<std::size_t>(stripe) + 1, 0);
-    max_y_.assign(static_cast<std::size_t>(stripe) + 1, kNegInf);
+    h_.resize(static_cast<std::size_t>(stripe) + 1);
+    max_y_.resize(static_cast<std::size_t>(stripe) + 1);
 
     for (int x0 = 1; x0 <= cols; x0 += stripe) {
       const int x1 = std::min(cols, x0 + stripe - 1);
-      std::fill(h_.begin(), h_.end(), 0);
-      std::fill(max_y_.begin(), max_y_.end(), kNegInf);
-      // carry of the boundary row y=0 is all-zero H, -inf MaxX.
-      Score old_carry_above = 0;
-      for (int y = 1; y <= rows; ++y) {
+      Score old_carry_above;
+      if (resumed) {
+        // Stripe-local state of row y_begin-1, straight from the checkpoint
+        // (buffer index x-1 holds column x).
+        std::memcpy(h_.data() + 1, ck_h + (x0 - 1),
+                    static_cast<std::size_t>(x1 - x0 + 1) * sizeof(Score));
+        std::memcpy(max_y_.data() + 1, ck_my + (x0 - 1),
+                    static_cast<std::size_t>(x1 - x0 + 1) * sizeof(Score));
+        old_carry_above = x0 == 1 ? 0 : ck_h[x0 - 2];
+      } else {
+        std::fill(h_.begin(), h_.end(), 0);
+        std::fill(max_y_.begin(), max_y_.end(), kNegInf);
+        // carry of the boundary row y=0 is all-zero H, -inf MaxX.
+        old_carry_above = 0;
+      }
+      int emit_idx = 0;
+      for (int y = y_begin; y <= rows; ++y) {
         const int i = y - 1;
         const std::int16_t* erow = ex.row(seq[static_cast<std::size_t>(i)]);
         const std::atomic<std::uint64_t>* obits =
@@ -86,6 +138,17 @@ class ScalarStripedEngine final : public Engine {
         carry_h_[static_cast<std::size_t>(y)] =
             h_[static_cast<std::size_t>(x1 - x0 + 1)];
         carry_mx_[static_cast<std::size_t>(y)] = max_x;
+        if (sink != nullptr && emit_idx < sink->count &&
+            y == sink->rows[static_cast<std::size_t>(emit_idx)].row) {
+          CheckpointRow& cr = sink->rows[static_cast<std::size_t>(emit_idx)];
+          const std::size_t off =
+              static_cast<std::size_t>(x0 - 1) * sizeof(Score);
+          const std::size_t len =
+              static_cast<std::size_t>(x1 - x0 + 1) * sizeof(Score);
+          std::memcpy(cr.h.data() + off, h_.data() + 1, len);
+          std::memcpy(cr.max_y.data() + off, max_y_.data() + 1, len);
+          ++emit_idx;
+        }
       }
     }
   }

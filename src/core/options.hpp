@@ -1,6 +1,7 @@
 // Options, statistics and result containers of the top-alignment finders.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -48,6 +49,17 @@ struct FinderOptions {
   RescanPolicy policy = RescanPolicy::kBestFirst;
   MemoryMode memory = MemoryMode::kArchiveRows;
   TracebackMode traceback = TracebackMode::kFullMatrix;
+  /// Byte budget of the checkpoint-resume realignment cache (0 disables all
+  /// incremental realignment, including the low-memory untouched-lane skip).
+  /// The override triangle only grows, so DP rows above the topmost
+  /// newly-overridden pair are identical between rounds; sweeps resume below
+  /// the deepest clean checkpoint instead of recomputing from row 1. The
+  /// parallel finder splits this budget evenly across worker threads.
+  std::size_t checkpoint_mem = std::size_t{256} << 20;  // 256 MiB
+  /// Checkpoint rows emitted per sweep: the grid stride is
+  /// ceil(rows / checkpoints_per_sweep); the row just above the group is
+  /// always emitted as well, so untouched groups resume at full depth.
+  int checkpoints_per_sweep = 16;
 };
 
 struct FinderStats {
@@ -57,6 +69,16 @@ struct FinderStats {
   std::uint64_t tracebacks = 0;        ///< accepted top alignments traced
   std::uint64_t queue_pops = 0;
   std::uint64_t cells = 0;             ///< matrix lane-cells computed
+  // Checkpoint-resume realignment cache (zero when disabled/unsupported):
+  std::uint64_t ckpt_hits = 0;        ///< sweeps resumed from a checkpoint
+  std::uint64_t ckpt_misses = 0;      ///< lookups that had to start at row 1
+  std::uint64_t ckpt_evictions = 0;   ///< cache entries evicted by the budget
+  std::uint64_t rows_skipped = 0;     ///< realignment DP rows restored, not swept
+  std::uint64_t rows_swept = 0;       ///< realignment DP rows a from-scratch run sweeps
+  std::uint64_t skipped_realignments = 0;  ///< low-memory untouched lanes bumped
+  /// Wall time inside realignment-phase sweeps (version > 0); the parallel
+  /// finder sums it across threads like idle_seconds.
+  double realign_seconds = 0.0;
   double seconds = 0.0;
   /// Wall time worker threads spent parked on the scheduler's condition
   /// variable, summed over threads (shared-memory finder only; the paper's

@@ -1,9 +1,12 @@
 #include "core/top_alignment_finder.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "align/checkpoint_cache.hpp"
 #include "align/linear_traceback.hpp"
 #include "align/traceback.hpp"
 #include "core/task_queue.hpp"
@@ -35,6 +38,8 @@ class SequentialRun {
                     "scoring matrix alphabet does not match the sequence");
     out_rows_.resize(static_cast<std::size_t>(engine.lanes()));
     plain_rows_.resize(static_cast<std::size_t>(engine.lanes()));
+    if (options.checkpoint_mem > 0 && engine.supports_checkpoints())
+      cache_.emplace(options.checkpoint_mem);
   }
 
   FinderResult run() {
@@ -48,6 +53,12 @@ class SequentialRun {
     }
     result_.stats.cells = engine_.cells_computed() - cells0;
     result_.stats.seconds = timer.seconds();
+    if (cache_) {
+      const align::CheckpointCacheStats& cs = cache_->stats();
+      result_.stats.ckpt_hits = cs.hits;
+      result_.stats.ckpt_misses = cs.misses;
+      result_.stats.ckpt_evictions = cs.evictions;
+    }
     publish_finder_stats(result_.stats, m_, "finder.");
     return std::move(result_);
   }
@@ -55,41 +66,136 @@ class SequentialRun {
  private:
   int version() const { return static_cast<int>(result_.tops.size()); }
 
+  bool incremental() const { return options_.checkpoint_mem > 0; }
+
+  int ckpt_stride(int rows) const {
+    const int c = std::max(1, options_.checkpoints_per_sweep);
+    return std::max(1, (rows + c - 1) / c);
+  }
+
+  /// Deepest plain-checkpoint row still usable by an *overridden* sweep of
+  /// the group at r0: no accepted pair reaches rows at or above it.
+  int plain_valid_limit(int r0) const {
+    const int md = all_dirty_.min_dirty_row(r0);
+    return md == align::PairDirtyIndex::kNoDirtyRow
+               ? std::numeric_limits<int>::max()
+               : md - 1;
+  }
+
+  /// True when no pair accepted since a stale member's version intersects
+  /// its rectangle — row and score are then provably unchanged.
+  bool group_untouched(const GroupTask& g) const {
+    for (int k = 0; k < g.count; ++k) {
+      const int v = g.version[static_cast<std::size_t>(k)];
+      if (v == version()) continue;
+      if (v < 0) return false;
+      const int r = g.r0 + k;
+      for (int t = v; t < version(); ++t)
+        if (dirty_[static_cast<std::size_t>(t)].min_dirty_row(r) <= r)
+          return false;
+    }
+    return true;
+  }
+
+  /// Wires checkpoint resume/emission into a sweep job; returns the number
+  /// of DP rows the sweep will restore instead of computing. `lookup` is off
+  /// for first alignments (nothing can be cached yet, and counting them as
+  /// misses would dilute the hit rate).
+  int attach_checkpoints(align::GroupJob& job, align::CheckpointSink& sink,
+                         align::CheckpointView& view, int rows,
+                         bool plain_sweep, bool lookup) {
+    if (!cache_) return 0;
+    int resumed = 0;
+    if (lookup) {
+      const auto found =
+          cache_->find(job.r0, plain_sweep,
+                       plain_sweep ? 0 : plain_valid_limit(job.r0));
+      if (found) {
+        view = *found;
+        job.resume = &view;
+        resumed = view.row;
+      }
+    }
+    sink.stride = ckpt_stride(rows);
+    sink.top_row = job.r0 - 1;
+    job.sink = &sink;
+    return resumed;
+  }
+
   /// (Re)aligns every member of a group against the current triangle and
   /// refreshes the member scores (shadow-rejected bottom-row maxima).
   void realign_group(GroupTask& g) {
+    FinderStats& st = result_.stats;
+    const bool is_realign = version() > 0;
+    const int rows_g = g.r0 + g.count - 1;
+
+    // Low-memory fast path: when every stale member's rectangle is untouched
+    // by the pairs accepted since its version, both the overridden sweep and
+    // the paired empty-triangle recompute are provably no-ops — bump the
+    // versions without computing anything.
+    if (incremental() && !rows_.has_value() && is_realign &&
+        group_untouched(g)) {
+      for (int k = 0; k < g.count; ++k) {
+        auto& v = g.version[static_cast<std::size_t>(k)];
+        if (v != version()) {
+          v = version();
+          ++st.skipped_realignments;
+        }
+      }
+      return;
+    }
+
     align::GroupJob job;
     job.seq = s_.codes();
     job.scoring = &scoring_;
     job.overrides = version() == 0 ? nullptr : &triangle_;
     job.r0 = g.r0;
     job.count = g.count;
-    std::vector<std::span<align::Score>> outs(static_cast<std::size_t>(g.count));
+    outs_.resize(static_cast<std::size_t>(g.count));
     for (int k = 0; k < g.count; ++k) {
       out_rows_[static_cast<std::size_t>(k)].resize(
           static_cast<std::size_t>(m_ - (g.r0 + k)));
-      outs[static_cast<std::size_t>(k)] = out_rows_[static_cast<std::size_t>(k)];
+      outs_[static_cast<std::size_t>(k)] = out_rows_[static_cast<std::size_t>(k)];
     }
-    engine_.align(job, outs);
+    // A version-0 sweep runs under the empty triangle and is cached as a
+    // plain sweep; overridden checkpoints stay valid via invalidation.
+    const int resumed = attach_checkpoints(job, sink_, resume_view_, rows_g,
+                                           /*plain_sweep=*/version() == 0,
+                                           /*lookup=*/is_realign);
+    util::WallTimer sweep_timer;
+    engine_.align(job, outs_);
 
     // Low-memory mode: no archive — recompute the empty-triangle originals
     // with one extra group alignment (only realignments pay this).
-    const bool recompute = !rows_.has_value() && version() > 0;
+    const bool recompute = !rows_.has_value() && is_realign;
+    int plain_resumed = 0;
     if (recompute) {
       align::GroupJob plain = job;
       plain.overrides = nullptr;
-      std::vector<std::span<align::Score>> plain_outs(
-          static_cast<std::size_t>(g.count));
+      plain.resume = nullptr;
+      plain.sink = nullptr;
+      plain_outs_.resize(static_cast<std::size_t>(g.count));
       for (int k = 0; k < g.count; ++k) {
         plain_rows_[static_cast<std::size_t>(k)].resize(
             static_cast<std::size_t>(m_ - (g.r0 + k)));
-        plain_outs[static_cast<std::size_t>(k)] =
+        plain_outs_[static_cast<std::size_t>(k)] =
             plain_rows_[static_cast<std::size_t>(k)];
       }
-      engine_.align(plain, plain_outs);
+      plain_resumed =
+          attach_checkpoints(plain, plain_sink_, plain_resume_view_, rows_g,
+                             /*plain_sweep=*/true, /*lookup=*/true);
+      engine_.align(plain, plain_outs_);
+    }
+    if (is_realign) {
+      st.realign_seconds += sweep_timer.seconds();
+      st.rows_swept += static_cast<std::uint64_t>(rows_g);
+      st.rows_skipped += static_cast<std::uint64_t>(resumed);
+      if (recompute) {
+        st.rows_swept += static_cast<std::uint64_t>(rows_g);
+        st.rows_skipped += static_cast<std::uint64_t>(plain_resumed);
+      }
     }
 
-    FinderStats& st = result_.stats;
     for (int k = 0; k < g.count; ++k) {
       const int r = g.r0 + k;
       auto& row = out_rows_[static_cast<std::size_t>(k)];
@@ -117,6 +223,14 @@ class SequentialRun {
       }
       g.version[static_cast<std::size_t>(k)] = version();
     }
+
+    if (cache_) {
+      const align::Score priority =
+          *std::max_element(g.score.begin(), g.score.end());
+      cache_->store(g.r0, /*plain_class=*/version() == 0, priority, sink_);
+      if (recompute)
+        cache_->store(g.r0, /*plain_class=*/true, priority, plain_sink_);
+    }
   }
 
   void accept(GroupTask& g, int member) {
@@ -129,16 +243,21 @@ class SequentialRun {
           accept_alignment(s_, scoring_, triangle_, *rows_, r, expected));
     } else {
       // Recompute the original row for the shadow check of the traceback.
+      // Empty-triangle sweeps resume from (and refresh) plain checkpoints.
       align::GroupJob plain;
       plain.seq = s_.codes();
       plain.scoring = &scoring_;
       plain.r0 = r;
       plain.count = 1;
+      attach_checkpoints(plain, plain_sink_, plain_resume_view_, r,
+                         /*plain_sweep=*/true, /*lookup=*/true);
       const std::vector<align::Score> original = engine_.align_one(plain);
+      if (cache_) cache_->store(r, /*plain_class=*/true, expected, plain_sink_);
       result_.tops.push_back(accept_alignment(s_, scoring_, triangle_,
                                               original, r, expected));
     }
     ++result_.stats.tracebacks;
+    record_acceptance();
   }
 
   /// Acceptance via the O(rows+cols)-memory traceback (TracebackMode::
@@ -156,7 +275,10 @@ class SequentialRun {
     } else {
       align::GroupJob plain = job;
       plain.overrides = nullptr;
+      attach_checkpoints(plain, plain_sink_, plain_resume_view_, r,
+                         /*plain_sweep=*/true, /*lookup=*/true);
       const std::vector<align::Score> original = engine_.align_one(plain);
+      if (cache_) cache_->store(r, /*plain_class=*/true, expected, plain_sink_);
       tb = align::traceback_best_linear(
           job, std::span<const align::Score>(original));
     }
@@ -168,6 +290,19 @@ class SequentialRun {
     top.end_x = tb.end_x;
     top.pairs = std::move(tb.pairs);
     result_.tops.push_back(std::move(top));
+  }
+
+  /// Indexes the just-accepted alignment's pairs and invalidates checkpoints
+  /// the new override bits can reach.
+  void record_acceptance() {
+    if (!incremental()) return;
+    const TopAlignment& top = result_.tops.back();
+    const std::span<const std::pair<int, int>> pairs(top.pairs);
+    dirty_.emplace_back(pairs);
+    all_pairs_.insert(all_pairs_.end(), top.pairs.begin(), top.pairs.end());
+    all_dirty_ = align::PairDirtyIndex(
+        std::span<const std::pair<int, int>>(all_pairs_));
+    if (cache_) cache_->invalidate(dirty_.back());
   }
 
   void run_best_first() {
@@ -237,6 +372,19 @@ class SequentialRun {
   std::vector<GroupTask> groups_;
   std::vector<std::vector<align::Score>> out_rows_;
   std::vector<std::vector<align::Score>> plain_rows_;
+  std::vector<std::span<align::Score>> outs_;        ///< reused across sweeps
+  std::vector<std::span<align::Score>> plain_outs_;  ///< reused across sweeps
+  // Checkpoint-resume state: one dirty index per acceptance (low-memory
+  // untouched-lane skip), the cumulative index (plain-entry validity), and
+  // reusable sinks/views so warm realignments allocate nothing.
+  std::optional<align::CheckpointCache> cache_;
+  std::vector<align::PairDirtyIndex> dirty_;
+  std::vector<std::pair<int, int>> all_pairs_;
+  align::PairDirtyIndex all_dirty_;
+  align::CheckpointSink sink_;
+  align::CheckpointSink plain_sink_;
+  align::CheckpointView resume_view_;
+  align::CheckpointView plain_resume_view_;
   FinderResult result_;
 };
 
@@ -315,6 +463,22 @@ void publish_finder_stats(const FinderStats& stats, int m,
   reg.counter(key("tracebacks")).add(stats.tracebacks);
   reg.counter(key("queue_pops")).add(stats.queue_pops);
   reg.counter(key("cells")).add(stats.cells);
+  reg.counter(key("ckpt_hits")).add(stats.ckpt_hits);
+  reg.counter(key("ckpt_misses")).add(stats.ckpt_misses);
+  reg.counter(key("ckpt_evictions")).add(stats.ckpt_evictions);
+  reg.counter(key("ckpt_rows_skipped")).add(stats.rows_skipped);
+  reg.counter(key("ckpt_rows_swept")).add(stats.rows_swept);
+  reg.counter(key("skipped_realignments")).add(stats.skipped_realignments);
+  if (stats.realign_seconds > 0.0)
+    reg.timer(key("realign_seconds")).add_seconds(stats.realign_seconds);
+  if (stats.ckpt_hits + stats.ckpt_misses > 0)
+    reg.set_gauge(key("ckpt_hit_rate_pct"),
+                  100.0 * static_cast<double>(stats.ckpt_hits) /
+                      static_cast<double>(stats.ckpt_hits + stats.ckpt_misses));
+  if (stats.rows_swept > 0)
+    reg.set_gauge(key("ckpt_rows_skipped_pct"),
+                  100.0 * static_cast<double>(stats.rows_skipped) /
+                      static_cast<double>(stats.rows_swept));
   reg.timer(key("seconds")).add_seconds(stats.seconds);
   if (stats.idle_seconds > 0.0)
     reg.timer(key("idle_seconds")).add_seconds(stats.idle_seconds);

@@ -1,14 +1,18 @@
 #include "parallel/parallel_finder.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "align/bottom_row_store.hpp"
+#include "align/checkpoint_cache.hpp"
 #include "align/override_triangle.hpp"
 #include "align/traceback.hpp"
 #include "core/task_queue.hpp"
@@ -28,6 +32,19 @@ struct InflightCmp {
     if (a.score != b.score) return a.score > b.score;
     return a.r < b.r;
   }
+};
+
+/// Per-worker checkpoint state. Each worker owns a private cache partition
+/// (checkpoint_mem / threads) and touches it only from its own thread;
+/// invalidations are replayed from the shared dirty list under the run lock
+/// before every lookup (`synced` is the replay cursor). The sink and output
+/// spans are hoisted here so steady-state realignments allocate nothing.
+struct WorkerCkpt {
+  std::optional<align::CheckpointCache> cache;
+  align::CheckpointSink sink;
+  align::CheckpointView view;
+  std::vector<std::span<align::Score>> outs;
+  int synced = 0;  ///< shared dirty entries already applied to `cache`
 };
 
 /// All state shared between worker threads; one mutex guards everything
@@ -59,8 +76,15 @@ class SharedRun {
 
   void worker(align::Engine& engine, int thread_index) {
     double idle = 0.0;
+    WorkerCkpt ck;
+    if (options_.finder.checkpoint_mem > 0 && engine.supports_checkpoints()) {
+      const std::size_t budget = std::max<std::size_t>(
+          1, options_.finder.checkpoint_mem /
+                 static_cast<std::size_t>(options_.threads));
+      ck.cache.emplace(budget);
+    }
     try {
-      worker_impl(engine, idle);
+      worker_impl(engine, ck, idle);
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!error_) error_ = std::current_exception();
@@ -75,6 +99,12 @@ class SharedRun {
     }
     std::lock_guard lock(mutex_);
     stats_.idle_seconds += idle;
+    if (ck.cache) {
+      const align::CheckpointCacheStats& cs = ck.cache->stats();
+      stats_.ckpt_hits += cs.hits;
+      stats_.ckpt_misses += cs.misses;
+      stats_.ckpt_evictions += cs.evictions;
+    }
   }
 
   core::FinderResult finish(double seconds, std::uint64_t cells) {
@@ -104,10 +134,25 @@ class SharedRun {
     return g.version[static_cast<std::size_t>(g.best_member())] != version();
   }
 
+  int ckpt_stride(int rows) const {
+    const int c = std::max(1, options_.finder.checkpoints_per_sweep);
+    return std::max(1, (rows + c - 1) / c);
+  }
+
+  /// Deepest plain-checkpoint row still clean for the group at r0, over every
+  /// acceptance so far. Caller holds the run lock (dirty_ is shared).
+  int plain_valid_limit_locked(int r0) const {
+    int md = align::PairDirtyIndex::kNoDirtyRow;
+    for (const auto& d : dirty_) md = std::min(md, d.min_dirty_row(r0));
+    return md == align::PairDirtyIndex::kNoDirtyRow
+               ? std::numeric_limits<int>::max()
+               : md - 1;
+  }
+
   /// `idle` accumulates this thread's cv-wait wall time locally and is
   /// published once by worker(); per-wait publication would add registry
   /// traffic inside the scheduler's lock dance.
-  void worker_impl(align::Engine& engine, double& idle) {
+  void worker_impl(align::Engine& engine, WorkerCkpt& ck, double& idle) {
     std::vector<std::vector<align::Score>> out_rows(
         static_cast<std::size_t>(engine.lanes()));
     util::WallTimer wait_timer;
@@ -140,7 +185,7 @@ class SharedRun {
       // 2. Speculation: realign the best stale group not yet assigned.
       const auto gi = queue_.pop_best_if([this](int g) { return group_stale(g); });
       if (gi) {
-        realign(lock, *gi, engine, out_rows);
+        realign(lock, *gi, engine, ck, out_rows);
         cv_.notify_all();
         continue;
       }
@@ -172,13 +217,16 @@ class SharedRun {
                                                     rows_, r, expected);
     lock.lock();
     tops_.push_back(std::move(top));
+    if (options_.finder.checkpoint_mem > 0)
+      dirty_.emplace_back(
+          std::span<const std::pair<int, int>>(tops_.back().pairs));
     ++stats_.tracebacks;
     accepting_ = false;
     queue_.push(gi, g.key());
   }
 
   void realign(std::unique_lock<std::mutex>& lock, int gi,
-               align::Engine& engine,
+               align::Engine& engine, WorkerCkpt& ck,
                std::vector<std::vector<align::Score>>& out_rows) {
     GroupTask& g = groups_[static_cast<std::size_t>(gi)];
     const TaskKey bound = g.key();
@@ -186,6 +234,24 @@ class SharedRun {
     const std::vector<int> prev_version = g.version;
     const auto it = inflight_.insert(bound);
     ++stats_.queue_pops;
+    const int rows_g = g.r0 + g.count - 1;
+    // Checkpoint sync + lookup while still locked: the dirty list is shared,
+    // and replaying it keeps this worker's overridden entries current. The
+    // returned view stays valid unlocked — only this thread mutates the cache.
+    int resumed = 0;
+    if (ck.cache) {
+      for (; ck.synced < v; ++ck.synced)
+        ck.cache->invalidate(dirty_[static_cast<std::size_t>(ck.synced)]);
+      if (v > 0) {
+        const auto found =
+            ck.cache->find(g.r0, /*plain_sweep=*/false,
+                           plain_valid_limit_locked(g.r0));
+        if (found) {
+          ck.view = *found;
+          resumed = ck.view.row;
+        }
+      }
+    }
     lock.unlock();
 
     align::GroupJob job;
@@ -194,13 +260,22 @@ class SharedRun {
     job.overrides = v == 0 ? nullptr : &triangle_;
     job.r0 = g.r0;
     job.count = g.count;
-    std::vector<std::span<align::Score>> outs(static_cast<std::size_t>(g.count));
+    job.resume = resumed > 0 ? &ck.view : nullptr;
+    if (ck.cache) {
+      ck.sink.stride = ckpt_stride(rows_g);
+      ck.sink.top_row = g.r0 - 1;
+      job.sink = &ck.sink;
+    }
+    ck.outs.resize(static_cast<std::size_t>(g.count));
     for (int k = 0; k < g.count; ++k) {
       out_rows[static_cast<std::size_t>(k)].resize(
           static_cast<std::size_t>(s_.length() - (g.r0 + k)));
-      outs[static_cast<std::size_t>(k)] = out_rows[static_cast<std::size_t>(k)];
+      ck.outs[static_cast<std::size_t>(k)] =
+          out_rows[static_cast<std::size_t>(k)];
     }
-    engine.align(job, outs);
+    util::WallTimer sweep_timer;
+    engine.align(job, ck.outs);
+    const double sweep_seconds = sweep_timer.seconds();
 
     std::vector<align::Score> new_scores(static_cast<std::size_t>(g.count));
     for (int k = 0; k < g.count; ++k) {
@@ -219,6 +294,25 @@ class SharedRun {
 
     lock.lock();
     inflight_.erase(it);
+    if (ck.cache) {
+      // The sweep ran unlocked, so the triangle may have grown under it:
+      // staged rows at or past any mid-sweep acceptance's dirty row could
+      // reflect torn override bits — drop them before committing. Rows below
+      // every dirty row are pure and current by the monotone-growth argument.
+      int md = align::PairDirtyIndex::kNoDirtyRow;
+      for (int t = v; t < version(); ++t)
+        md = std::min(md,
+                      dirty_[static_cast<std::size_t>(t)].min_dirty_row(g.r0));
+      ck.sink.drop_from(md);
+      const align::Score priority =
+          *std::max_element(new_scores.begin(), new_scores.end());
+      ck.cache->store(g.r0, /*plain_class=*/v == 0, priority, ck.sink);
+    }
+    if (v > 0) {
+      stats_.realign_seconds += sweep_seconds;
+      stats_.rows_swept += static_cast<std::uint64_t>(rows_g);
+      stats_.rows_skipped += static_cast<std::uint64_t>(resumed);
+    }
     for (int k = 0; k < g.count; ++k) {
       if (prev_version[static_cast<std::size_t>(k)] == -1) {
         ++stats_.first_alignments;
@@ -241,6 +335,7 @@ class SharedRun {
   std::vector<GroupTask> groups_;
   core::GroupQueue queue_;
   std::multiset<TaskKey, InflightCmp> inflight_;
+  std::vector<align::PairDirtyIndex> dirty_;  ///< one entry per acceptance
 
   std::mutex mutex_;
   std::condition_variable cv_;

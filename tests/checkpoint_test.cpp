@@ -1,0 +1,444 @@
+// Checkpoint-resume realignment: resumed sweeps must be bit-identical to
+// from-scratch sweeps (kernel level), the finder with the cache enabled must
+// produce exactly the tops of a cache-disabled run (both memory modes, every
+// engine), and the cache itself must honor its validity model and budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "align/checkpoint_cache.hpp"
+#include "align/engine.hpp"
+#include "align/override_triangle.hpp"
+#include "core/top_alignment_finder.hpp"
+#include "core/verify.hpp"
+#include "parallel/parallel_finder.hpp"
+#include "seq/generator.hpp"
+#include "seq/scoring.hpp"
+#include "util/rng.hpp"
+
+namespace repro {
+namespace {
+
+using align::CheckpointCache;
+using align::CheckpointRow;
+using align::CheckpointSink;
+using align::CheckpointView;
+using align::PairDirtyIndex;
+using align::Score;
+using core::FinderOptions;
+
+// ---------------------------------------------------------------------------
+// PairDirtyIndex
+
+TEST(PairDirtyIndex, EmptyHasNoDirtyRows) {
+  const PairDirtyIndex idx;
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.min_dirty_row(1), PairDirtyIndex::kNoDirtyRow);
+  EXPECT_EQ(idx.min_dirty_row(100), PairDirtyIndex::kNoDirtyRow);
+}
+
+TEST(PairDirtyIndex, MatchesBruteForceOnRandomPairLists) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int m = 20 + static_cast<int>(rng.below(60));
+    std::vector<std::pair<int, int>> pairs;
+    const int n = 1 + static_cast<int>(rng.below(12));
+    for (int t = 0; t < n; ++t) {
+      const int j = 1 + static_cast<int>(rng.below(m - 1));
+      const int i = static_cast<int>(rng.below(j));
+      pairs.emplace_back(i, j);
+    }
+    const PairDirtyIndex idx{std::span<const std::pair<int, int>>(pairs)};
+    for (int r0 = 1; r0 < m; ++r0) {
+      int expect = PairDirtyIndex::kNoDirtyRow;
+      for (const auto& [i, j] : pairs)
+        if (j >= r0) expect = std::min(expect, i + 1);
+      EXPECT_EQ(idx.min_dirty_row(r0), expect)
+          << "trial " << trial << " r0=" << r0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointCache semantics
+
+CheckpointSink make_sink(int stride, int top_row, std::size_t buf_bytes,
+                         std::byte fill) {
+  CheckpointSink sink;
+  sink.stride = stride;
+  sink.top_row = top_row;
+  sink.lanes = 1;
+  sink.elem_size = 4;
+  sink.prepare(1, top_row, buf_bytes);
+  for (int t = 0; t < sink.count; ++t) {
+    auto& cr = sink.rows[static_cast<std::size_t>(t)];
+    std::fill(cr.h.begin(), cr.h.end(), fill);
+    std::fill(cr.max_y.begin(), cr.max_y.end(), fill);
+  }
+  return sink;
+}
+
+TEST(CheckpointCacheTest, FindReturnsDeepestRowWithinValidityLimits) {
+  CheckpointCache cache(1 << 20);
+  auto sink = make_sink(4, 9, 16, std::byte{0x5a});  // rows 4, 8, 9
+  cache.store(5, /*plain_class=*/true, 10, sink);
+
+  const auto plain = cache.find(5, /*plain_sweep=*/true, 0);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->row, 9);  // plain sweeps ignore the limit
+  EXPECT_EQ(plain->lanes, 1);
+  EXPECT_EQ(plain->elem_size, 4);
+  EXPECT_EQ(plain->bytes, 16u);
+
+  const auto clamped = cache.find(5, /*plain_sweep=*/false, 7);
+  ASSERT_TRUE(clamped.has_value());
+  EXPECT_EQ(clamped->row, 4);  // deepest plain row <= the clean limit
+
+  EXPECT_FALSE(cache.find(5, /*plain_sweep=*/false, 2).has_value());
+  EXPECT_FALSE(cache.find(7, /*plain_sweep=*/true, 0).has_value());
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CheckpointCacheTest, InvalidateDropsOverriddenRowsButKeepsPlain) {
+  CheckpointCache cache(1 << 20);
+  auto plain_sink = make_sink(4, 9, 16, std::byte{1});
+  cache.store(5, /*plain_class=*/true, 10, plain_sink);
+  auto over_sink = make_sink(4, 9, 16, std::byte{2});
+  cache.store(5, /*plain_class=*/false, 10, over_sink);
+
+  // A pair at (i=5, j=6) dirties DP rows >= 6 of every group with r0 <= 6.
+  const std::vector<std::pair<int, int>> pairs{{5, 6}};
+  cache.invalidate(PairDirtyIndex{std::span<const std::pair<int, int>>(pairs)});
+  EXPECT_EQ(cache.stats().invalidated_rows, 2u);  // overridden rows 8 and 9
+
+  const auto over = cache.find(5, /*plain_sweep=*/false,
+                               std::numeric_limits<int>::max());
+  ASSERT_TRUE(over.has_value());
+  EXPECT_EQ(over->row, 9);  // plain row 9 beats surviving overridden row 4
+  const auto plain = cache.find(5, /*plain_sweep=*/true, 0);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->row, 9);  // plain entry untouched by invalidation
+}
+
+TEST(CheckpointCacheTest, TinyBudgetEvictsLowestPriorityEntry) {
+  // Budget below a single row: every store evicts something, lowest priority
+  // (the group's best score) first.
+  CheckpointCache cache(1);
+  auto a = make_sink(4, 9, 16, std::byte{1});
+  cache.store(3, true, /*priority=*/50, a);
+  EXPECT_EQ(cache.stats().evictions, 1u);  // only entry: evicted immediately
+  EXPECT_EQ(cache.bytes(), 0u);
+
+  CheckpointCache cache2(40);  // fits one 32-byte row, not two
+  auto low = make_sink(4, 4, 16, std::byte{1});
+  cache2.store(3, true, /*priority=*/10, low);
+  auto high = make_sink(4, 4, 16, std::byte{2});
+  cache2.store(9, true, /*priority=*/90, high);
+  EXPECT_EQ(cache2.stats().evictions, 1u);
+  EXPECT_FALSE(cache2.find(3, true, 0).has_value());  // low priority evicted
+  EXPECT_TRUE(cache2.find(9, true, 0).has_value());
+}
+
+TEST(CheckpointCacheTest, SameRowStoreRecyclesBytes) {
+  CheckpointCache cache(1 << 20);
+  auto sink = make_sink(4, 9, 16, std::byte{1});
+  cache.store(5, true, 10, sink);
+  const std::size_t bytes_once = cache.bytes();
+  auto again = make_sink(4, 9, 16, std::byte{2});
+  cache.store(5, true, 11, again);
+  EXPECT_EQ(cache.bytes(), bytes_once);  // same grid: no growth
+  const auto view = cache.find(5, true, 0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->h[0], std::byte{2});  // newest sweep's state won
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level resume equivalence (randomized triangle-growth fuzz)
+
+std::vector<align::EngineKind> checkpoint_engine_kinds() {
+  std::vector<align::EngineKind> kinds{
+      align::EngineKind::kScalar, align::EngineKind::kScalarStriped,
+      align::EngineKind::kSimd4Generic, align::EngineKind::kSimd8Generic,
+      align::EngineKind::kSimd4x32Generic};
+#if REPRO_HAVE_SSE2
+  kinds.push_back(align::EngineKind::kSimd4);
+  kinds.push_back(align::EngineKind::kSimd8);
+  if (align::sse41_available()) kinds.push_back(align::EngineKind::kSimd4x32);
+#endif
+  if (align::avx2_available()) {
+    kinds.push_back(align::EngineKind::kSimd16);
+    kinds.push_back(align::EngineKind::kSimd8x32);
+  }
+  return kinds;
+}
+
+CheckpointView view_of(const CheckpointSink& sink, int index) {
+  const CheckpointRow& cr = sink.rows[static_cast<std::size_t>(index)];
+  CheckpointView view;
+  view.row = cr.row;
+  view.lanes = sink.lanes;
+  view.elem_size = sink.elem_size;
+  view.h = cr.h.data();
+  view.max_y = cr.max_y.data();
+  view.bytes = cr.h.size();
+  return view;
+}
+
+/// Sweeps a group with `resume` (nullptr = from scratch), returning the
+/// bottom rows; `sink` (optional) collects checkpoints.
+std::vector<std::vector<Score>> sweep(align::Engine& engine,
+                                      const seq::Sequence& s,
+                                      const seq::Scoring& scoring,
+                                      const align::OverrideTriangle* triangle,
+                                      int r0, int count,
+                                      const CheckpointView* resume,
+                                      CheckpointSink* sink) {
+  align::GroupJob job;
+  job.seq = s.codes();
+  job.scoring = &scoring;
+  job.overrides = triangle;
+  job.r0 = r0;
+  job.count = count;
+  job.resume = resume;
+  job.sink = sink;
+  const int m = s.length();
+  std::vector<std::vector<Score>> rows(static_cast<std::size_t>(count));
+  std::vector<std::span<Score>> outs(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    rows[static_cast<std::size_t>(k)].resize(
+        static_cast<std::size_t>(m - (r0 + k)));
+    outs[static_cast<std::size_t>(k)] = rows[static_cast<std::size_t>(k)];
+  }
+  engine.align(job, outs);
+  return rows;
+}
+
+TEST(CheckpointKernel, ResumeFromEveryDepthMatchesScratch) {
+  // A plain sweep emits checkpoints on a fine grid; resuming from each one
+  // (empty triangle, so every depth is valid) must reproduce the scratch
+  // bottom rows exactly.
+  const auto g = seq::synthetic_titin(160, 7);
+  const seq::Scoring scoring = seq::Scoring::protein_default();
+  for (const auto kind : checkpoint_engine_kinds()) {
+    const auto engine = align::make_engine(kind);
+    const int count = engine->lanes();
+    const int r0 = 90;
+    CheckpointSink sink;
+    sink.stride = 11;
+    sink.top_row = r0 - 1;
+    const auto scratch =
+        sweep(*engine, g.sequence, scoring, nullptr, r0, count, nullptr, &sink);
+    ASSERT_GT(sink.count, 1) << engine->name();
+    for (int t = 0; t < sink.count; ++t) {
+      const CheckpointView view = view_of(sink, t);
+      const auto resumed = sweep(*engine, g.sequence, scoring, nullptr, r0,
+                                 count, &view, nullptr);
+      EXPECT_EQ(resumed, scratch)
+          << engine->name() << " resumed from row " << view.row;
+    }
+  }
+}
+
+TEST(CheckpointKernel, TriangleGrowthFuzzResumedEqualsScratch) {
+  // Rounds of random triangle growth; each round realigns from scratch and
+  // resumed from the deepest still-clean checkpoint of the previous round.
+  const seq::Scoring protein = seq::Scoring::protein_default();
+  const seq::Scoring dna = seq::Scoring::paper_example();
+  for (const auto kind : checkpoint_engine_kinds()) {
+    const auto engine = align::make_engine(kind);
+    for (int seed = 0; seed < 6; ++seed) {
+      util::Rng rng(900 + static_cast<std::uint64_t>(seed));
+      const bool use_dna = rng.chance(0.5);
+      const int m = 100 + static_cast<int>(rng.below(50));
+      const seq::Sequence s =
+          use_dna ? seq::synthetic_dna_tandem(m, 9, 5,
+                                              100 + static_cast<std::uint64_t>(seed))
+                        .sequence
+                  : seq::synthetic_titin(m, 200 + static_cast<std::uint64_t>(seed))
+                        .sequence;
+      const seq::Scoring& scoring = use_dna ? dna : protein;
+      const int count = engine->lanes();
+      const int r0 =
+          2 + static_cast<int>(rng.below(
+                  static_cast<std::uint64_t>(std::max(1, m - count - 3))));
+      align::OverrideTriangle triangle(m);
+
+      CheckpointSink staged;  // plays the cache: last scratch sweep's rows
+      staged.stride = 1 + static_cast<int>(rng.below(9));
+      staged.top_row = r0 - 1;
+      sweep(*engine, s, scoring, &triangle, r0, count, nullptr, &staged);
+
+      for (int round = 0; round < 4; ++round) {
+        // Grow the triangle with random pairs reaching this group (j >= r0).
+        std::vector<std::pair<int, int>> pairs;
+        const int n = 1 + static_cast<int>(rng.below(3));
+        for (int t = 0; t < n; ++t) {
+          const int j =
+              r0 + static_cast<int>(rng.below(static_cast<std::uint64_t>(m - r0)));
+          const int i = static_cast<int>(rng.below(static_cast<std::uint64_t>(j)));
+          pairs.emplace_back(i, j);
+          triangle.set(i, j);
+        }
+        const PairDirtyIndex dirty{
+            std::span<const std::pair<int, int>>(pairs)};
+        staged.drop_from(dirty.min_dirty_row(r0));  // invalidate stale rows
+
+        CheckpointSink fresh;
+        fresh.stride = staged.stride;
+        fresh.top_row = r0 - 1;
+        const auto scratch =
+            sweep(*engine, s, scoring, &triangle, r0, count, nullptr, &fresh);
+        if (staged.count > 0) {
+          const CheckpointView view = view_of(staged, staged.count - 1);
+          const auto resumed = sweep(*engine, s, scoring, &triangle, r0, count,
+                                     &view, nullptr);
+          EXPECT_EQ(resumed, scratch)
+              << engine->name() << " seed " << seed << " round " << round
+              << " resumed from row " << view.row;
+        }
+        staged = std::move(fresh);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Finder-level equivalence: cache on vs off, both memory modes, all engines
+
+TEST(CheckpointFinder, CacheOnMatchesCacheOffAcrossEnginesAndMemoryModes) {
+  const auto g = seq::synthetic_titin(260, 22);
+  const seq::Scoring scoring = seq::Scoring::protein_default();
+  for (const auto kind : checkpoint_engine_kinds()) {
+    for (const auto memory :
+         {core::MemoryMode::kArchiveRows, core::MemoryMode::kRecomputeRows}) {
+      FinderOptions off;
+      off.num_top_alignments = 8;
+      off.memory = memory;
+      off.checkpoint_mem = 0;
+      FinderOptions on = off;
+      on.checkpoint_mem = CheckpointCache::kDefaultBudget;
+      const auto e1 = align::make_engine(kind);
+      const auto e2 = align::make_engine(kind);
+      const auto a = find_top_alignments(g.sequence, scoring, off, *e1);
+      const auto b = find_top_alignments(g.sequence, scoring, on, *e2);
+      std::string diff;
+      EXPECT_TRUE(core::same_tops(a.tops, b.tops, &diff))
+          << e1->name() << " memory mode "
+          << (memory == core::MemoryMode::kArchiveRows ? "archive" : "recompute")
+          << ": " << diff;
+      if (b.stats.realignments > 0)  // every realignment sweep did a lookup
+        EXPECT_GT(b.stats.ckpt_hits + b.stats.ckpt_misses, 0u)
+            << e1->name();
+      EXPECT_EQ(a.stats.ckpt_hits, 0u);
+      EXPECT_EQ(a.stats.rows_skipped, 0u);
+    }
+  }
+}
+
+TEST(CheckpointFinder, ResumeActuallySkipsRowsOnRepeatDenseInput) {
+  const auto g = seq::synthetic_titin(300, 31);
+  FinderOptions opt;
+  opt.num_top_alignments = 10;
+  const auto engine = align::make_engine(align::EngineKind::kScalar);
+  const auto res =
+      find_top_alignments(g.sequence, seq::Scoring::protein_default(), opt,
+                          *engine);
+  EXPECT_GT(res.stats.ckpt_hits, 0u);
+  EXPECT_GT(res.stats.rows_skipped, 0u);
+  EXPECT_GT(res.stats.rows_swept, res.stats.rows_skipped);
+  EXPECT_GT(engine->cells_skipped(), 0u);
+}
+
+TEST(CheckpointFinder, OneRowBudgetStillProducesIdenticalTops) {
+  // A budget below a single checkpoint row forces an eviction on every
+  // store; results must not change, and the eviction counter must show it.
+  const auto g = seq::synthetic_titin(220, 13);
+  FinderOptions off;
+  off.num_top_alignments = 8;
+  off.checkpoint_mem = 0;
+  FinderOptions tiny = off;
+  tiny.checkpoint_mem = 1;
+  const auto e1 = align::make_engine(align::EngineKind::kSimd8Generic);
+  const auto e2 = align::make_engine(align::EngineKind::kSimd8Generic);
+  const auto a = find_top_alignments(g.sequence,
+                                     seq::Scoring::protein_default(), off, *e1);
+  const auto b = find_top_alignments(g.sequence,
+                                     seq::Scoring::protein_default(), tiny, *e2);
+  std::string diff;
+  EXPECT_TRUE(core::same_tops(a.tops, b.tops, &diff)) << diff;
+  EXPECT_GT(b.stats.ckpt_evictions, 0u);
+  EXPECT_EQ(b.stats.ckpt_hits, 0u);  // nothing survives a 1-byte budget
+}
+
+TEST(CheckpointFinder, LowMemoryUntouchedLaneSkipIsExactAndCounted) {
+  // Interspersed repeats leave many rectangles untouched between
+  // acceptances; in low-memory mode those groups are version-bumped without
+  // any sweep, and the tops still match the checkpoint-off run.
+  seq::RepeatSpec spec;
+  spec.unit_length = 16;
+  spec.copies = 5;
+  spec.conservation = 0.6;
+  spec.indel_rate = 0.02;
+  spec.tandem = false;
+  const auto g =
+      seq::make_repeat_sequence(seq::Alphabet::protein(), 240, spec, 61);
+  const seq::Scoring scoring = seq::Scoring::protein_default();
+  FinderOptions off;
+  off.num_top_alignments = 8;
+  off.memory = core::MemoryMode::kRecomputeRows;
+  off.checkpoint_mem = 0;
+  FinderOptions on = off;
+  on.checkpoint_mem = CheckpointCache::kDefaultBudget;
+  const auto e1 = align::make_engine(align::EngineKind::kScalar);
+  const auto e2 = align::make_engine(align::EngineKind::kScalar);
+  const auto a = find_top_alignments(g.sequence, scoring, off, *e1);
+  const auto b = find_top_alignments(g.sequence, scoring, on, *e2);
+  std::string diff;
+  EXPECT_TRUE(core::same_tops(a.tops, b.tops, &diff)) << diff;
+  EXPECT_GT(b.stats.skipped_realignments, 0u);
+  EXPECT_LT(b.stats.realignments, a.stats.realignments);
+}
+
+TEST(CheckpointFinder, ExhaustivePolicyAgreesWithCacheOn) {
+  const auto g = seq::synthetic_titin(200, 5);
+  FinderOptions best;
+  best.num_top_alignments = 6;
+  FinderOptions sweep_opt = best;
+  sweep_opt.policy = core::RescanPolicy::kExhaustiveSweep;
+  const auto e1 = align::make_engine(align::EngineKind::kScalar);
+  const auto e2 = align::make_engine(align::EngineKind::kScalar);
+  const auto a = find_top_alignments(g.sequence,
+                                     seq::Scoring::protein_default(), best, *e1);
+  const auto b = find_top_alignments(
+      g.sequence, seq::Scoring::protein_default(), sweep_opt, *e2);
+  std::string diff;
+  EXPECT_TRUE(core::same_tops(a.tops, b.tops, &diff)) << diff;
+}
+
+TEST(CheckpointFinder, ParallelWorkersWithCachePartitionsMatchSequential) {
+  const auto g = seq::synthetic_titin(260, 17);
+  const seq::Scoring scoring = seq::Scoring::protein_default();
+  FinderOptions off;
+  off.num_top_alignments = 8;
+  off.checkpoint_mem = 0;
+  const auto seq_engine = align::make_engine(align::EngineKind::kSimd8Generic);
+  const auto reference =
+      find_top_alignments(g.sequence, scoring, off, *seq_engine);
+
+  parallel::ParallelOptions popt;
+  popt.threads = 3;
+  popt.finder.num_top_alignments = 8;  // checkpoint cache on by default
+  const auto par = parallel::find_top_alignments_parallel(
+      g.sequence, scoring, popt,
+      align::engine_factory(align::EngineKind::kSimd8Generic));
+  std::string diff;
+  EXPECT_TRUE(core::same_tops(reference.tops, par.tops, &diff)) << diff;
+}
+
+}  // namespace
+}  // namespace repro

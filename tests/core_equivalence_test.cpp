@@ -141,6 +141,10 @@ TEST_P(Equivalence, LowMemoryModeMatchesArchiveMode) {
   const Case& c = cases()[static_cast<std::size_t>(GetParam())];
   FinderOptions archive;
   archive.num_top_alignments = c.tops;
+  // Disable checkpoint-resume on both sides so the cell-count bound below
+  // measures the Appendix-A recompute overhead alone (checkpoint_test.cpp
+  // covers the incremental paths of both memory modes).
+  archive.checkpoint_mem = 0;
   FinderOptions low = archive;
   low.memory = MemoryMode::kRecomputeRows;
   const auto e1 = align::make_engine(align::EngineKind::kScalar);

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Perf smoke test (ctest label: perf-smoke).
+#
+# Runs bench_scheduler --json and bench_kernels --benchmark_format=json on a
+# reduced workload, then compares the scheduler perf record against the
+# checked-in baseline BENCH_scheduler.json. Fails when any tracked
+# bigger-is-better metric regresses by more than 2x (generous on purpose:
+# the smoke must survive noisy shared machines while still catching
+# order-of-magnitude regressions such as a dead checkpoint cache).
+#
+# Usage: tools/bench_smoke.sh [build-dir] [--update]
+#   build-dir  defaults to ./build
+#   --update   rewrite BENCH_scheduler.json from this machine's run
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build=build
+update=0
+for arg in "$@"; do
+  case "$arg" in
+    --update) update=1 ;;
+    *) build="$arg" ;;
+  esac
+done
+
+baseline=BENCH_scheduler.json
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+# Kernel microbenches: google-benchmark's native JSON (see the parity note
+# in bench/bench_common.hpp). A filter keeps the smoke fast; the output is
+# validated structurally, not against a baseline (raw ns vary per host).
+"$build/bench/bench_kernels" \
+  --benchmark_filter='BM_Scalar/1000|BM_ScalarResume/2000' \
+  --benchmark_min_time=0.05 \
+  --benchmark_format=json >"$out_dir/kernels.json" 2>/dev/null
+
+# Up to three attempts: absolute rates (cells_per_sec) dip under transient
+# machine load, and a real regression fails all three identically.
+attempts=3
+[ "$update" = 1 ] && attempts=1
+for attempt in $(seq 1 "$attempts"); do
+  # Reduced-but-representative workload; must match the baseline's params.
+  "$build/bench/bench_scheduler" --m 800 --tops 15 --seeds 1,2 \
+    --json "$out_dir/scheduler.json" >/dev/null
+  if python3 - "$out_dir/scheduler.json" "$out_dir/kernels.json" "$baseline" \
+    "$update" <<'PY'
+import json, sys
+
+sched_path, kern_path, baseline_path, update = sys.argv[1:5]
+sched = json.load(open(sched_path))
+kern = json.load(open(kern_path))
+
+assert sched.get("schema") == "repro-metrics-v1", "bad scheduler record"
+benches = kern.get("benchmarks", [])
+assert benches, "bench_kernels JSON has no benchmarks"
+resume = [b for b in benches if "Resume" in b.get("name", "")]
+assert resume, "bench_kernels JSON lacks the checkpoint-resume benches"
+assert all("cells/s" in b for b in resume), "resume benches lack counters"
+
+if update == "1":
+    json.dump(sched, open(baseline_path, "w"), indent=2)
+    print(f"wrote baseline {baseline_path}")
+    sys.exit(0)
+
+base = json.load(open(baseline_path))
+if base.get("params") != sched.get("params"):
+    sys.exit(f"params changed: baseline {base.get('params')} vs "
+             f"run {sched.get('params')} -- rerun with --update")
+
+# Bigger-is-better metrics; fail on >2x regression vs the baseline.
+TRACKED = ["cells_per_sec", "realignments_avoided_pct",
+           "ckpt_realign_speedup", "ckpt_rows_skipped_pct"]
+failures = []
+for key in TRACKED:
+    ref = base["metrics"].get(key)
+    cur = sched["metrics"].get(key)
+    if ref is None or cur is None:
+        failures.append(f"{key}: missing (baseline={ref}, current={cur})")
+    elif cur < ref / 2.0:
+        failures.append(f"{key}: {cur:.3g} vs baseline {ref:.3g} (>2x worse)")
+    else:
+        print(f"ok {key}: {cur:.3g} (baseline {ref:.3g})")
+if failures:
+    sys.exit("perf smoke FAILED:\n  " + "\n  ".join(failures))
+print("perf smoke PASSED")
+PY
+  then
+    exit 0
+  fi
+  [ "$attempt" -lt "$attempts" ] && echo "attempt $attempt failed; retrying"
+done
+echo "perf smoke failed on all $attempts attempts" >&2
+exit 1

@@ -150,6 +150,9 @@ int cmd_find(int argc, char** argv) {
                    {"engine", "scalar|striped|simd4|simd8|simd16|simd4x32|simd8x32|best"},
                    {"threads", "shared-memory workers (default 1 = sequential)"},
                    {"low-memory", "recompute bottom rows instead of archiving"},
+                   {"checkpoint-mem",
+                    "realignment checkpoint cache budget in MiB (default 256; "
+                    "0 disables incremental realignment)"},
                    {"linear-traceback", "O(rows+cols)-memory traceback"},
                    {"repeats", "also delineate repeat regions"},
                    {"alignments", "print the gapped alignments (text format)"},
@@ -174,6 +177,9 @@ int cmd_find(int argc, char** argv) {
   opt.num_top_alignments = static_cast<int>(args.get_int("tops", 20));
   opt.min_score = static_cast<align::Score>(args.get_int("min-score", 1));
   if (args.get_flag("low-memory")) opt.memory = core::MemoryMode::kRecomputeRows;
+  const auto ckpt_mib = args.get_int("checkpoint-mem", 256);
+  REPRO_CHECK_MSG(ckpt_mib >= 0, "--checkpoint-mem must be >= 0 (MiB)");
+  opt.checkpoint_mem = static_cast<std::size_t>(ckpt_mib) << 20;
   if (args.get_flag("linear-traceback"))
     opt.traceback = core::TracebackMode::kLinearSpace;
   const int threads = static_cast<int>(args.get_int("threads", 1));
@@ -223,6 +229,13 @@ int cmd_find(int argc, char** argv) {
     total_stats.tracebacks += res.stats.tracebacks;
     total_stats.queue_pops += res.stats.queue_pops;
     total_stats.cells += res.stats.cells;
+    total_stats.ckpt_hits += res.stats.ckpt_hits;
+    total_stats.ckpt_misses += res.stats.ckpt_misses;
+    total_stats.ckpt_evictions += res.stats.ckpt_evictions;
+    total_stats.rows_skipped += res.stats.rows_skipped;
+    total_stats.rows_swept += res.stats.rows_swept;
+    total_stats.skipped_realignments += res.stats.skipped_realignments;
+    total_stats.realign_seconds += res.stats.realign_seconds;
     total_stats.seconds += res.stats.seconds;
     total_stats.idle_seconds += res.stats.idle_seconds;
     total_tops += res.tops.size();
@@ -267,6 +280,17 @@ int cmd_find(int argc, char** argv) {
     report.counter("tracebacks", total_stats.tracebacks);
     report.counter("queue_pops", total_stats.queue_pops);
     report.counter("tops_found", total_tops);
+    report.counter("ckpt_hits", total_stats.ckpt_hits);
+    report.counter("ckpt_misses", total_stats.ckpt_misses);
+    report.counter("ckpt_evictions", total_stats.ckpt_evictions);
+    report.counter("ckpt_rows_skipped", total_stats.rows_skipped);
+    report.counter("ckpt_rows_swept", total_stats.rows_swept);
+    report.counter("skipped_realignments", total_stats.skipped_realignments);
+    report.metric("realign_seconds", total_stats.realign_seconds);
+    if (total_stats.rows_swept > 0)
+      report.metric("ckpt_rows_skipped_pct",
+                    100.0 * static_cast<double>(total_stats.rows_skipped) /
+                        static_cast<double>(total_stats.rows_swept));
     report.include_registry(obs::Registry::global());
     report.write_file(metrics_path);
   }
