@@ -1,0 +1,138 @@
+// Standalone fuzz driver used when the toolchain has no libFuzzer
+// (-fsanitize=fuzzer). It feeds the same LLVMFuzzerTestOneInput entry point
+// that libFuzzer would call, from two sources:
+//
+//   * every corpus file named on the command line (files or directories),
+//   * `--rand-seconds S` of deterministic splitmix64-generated random
+//     inputs (seeded via --seed, default 1), each up to --max-len bytes.
+//
+// It performs no coverage-guided mutation — the targets are differential
+// (reference model vs implementation, engine vs engine, resume vs fresh),
+// so random inputs alone exercise the comparisons. Any escaped exception or
+// abort is a finding; the driver prints the reproducing seed/iteration.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read corpus file %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double rand_seconds = 0.0;
+  std::size_t max_len = 512;
+  std::uint64_t seed = 1;
+  std::vector<std::filesystem::path> inputs;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--rand-seconds") {
+      rand_seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--max-len") {
+      max_len = static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: %s [corpus-file-or-dir]... [--rand-seconds S] "
+          "[--max-len N] [--seed X]\n",
+          argv[0]);
+      return 0;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  std::uint64_t corpus_runs = 0;
+  try {
+    for (const auto& p : inputs) {
+      if (std::filesystem::is_directory(p)) {
+        for (const auto& entry :
+             std::filesystem::recursive_directory_iterator(p)) {
+          if (!entry.is_regular_file()) continue;
+          if (run_file(entry.path()) != 0) return 1;
+          ++corpus_runs;
+        }
+      } else {
+        if (run_file(p) != 0) return 1;
+        ++corpus_runs;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FUZZ FINDING (corpus input): %s\n", e.what());
+    return 1;
+  }
+
+  std::uint64_t rand_runs = 0;
+  std::uint64_t state = seed;
+  repro::util::WallTimer timer;
+  std::vector<std::uint8_t> buf;
+  while (timer.seconds() < rand_seconds) {
+    const std::size_t len = max_len == 0
+                                ? 0
+                                : static_cast<std::size_t>(splitmix64(state) %
+                                                           (max_len + 1));
+    buf.resize(len);
+    for (std::size_t i = 0; i < len; i += 8) {
+      const std::uint64_t word = splitmix64(state);
+      const std::size_t n = std::min<std::size_t>(8, len - i);
+      std::memcpy(buf.data() + i, &word, n);
+    }
+    try {
+      LLVMFuzzerTestOneInput(buf.data(), buf.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "FUZZ FINDING (seed %llu, iteration %llu, len %zu): %s\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(rand_runs),
+                   buf.size(), e.what());
+      return 1;
+    }
+    ++rand_runs;
+  }
+
+  std::printf("fuzz driver: %llu corpus inputs, %llu random inputs, "
+              "no findings\n",
+              static_cast<unsigned long long>(corpus_runs),
+              static_cast<unsigned long long>(rand_runs));
+  return 0;
+}

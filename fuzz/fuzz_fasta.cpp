@@ -1,0 +1,65 @@
+// FASTA parser fuzz target.
+//
+// Property 1 (robustness): read_fasta on arbitrary bytes either succeeds or
+// rejects the input with the parser's own std::logic_error — never crashes,
+// never loops, never returns half-parsed garbage silently.
+//
+// Property 2 (round trip): whatever it accepts must survive
+// write_fasta -> read_fasta bit-identically (names and residue codes), at
+// several wrap widths. Any divergence throws out of the target, which the
+// driver (or libFuzzer) reports as a finding.
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "seq/fasta.hpp"
+#include "seq/sequence.hpp"
+
+namespace {
+
+[[noreturn]] void finding(const std::string& what) {
+  throw std::runtime_error("fasta round trip: " + what);
+}
+
+void check_round_trip(const std::vector<repro::seq::Sequence>& records,
+                      const repro::seq::Alphabet& alphabet, int width) {
+  std::ostringstream out;
+  repro::seq::write_fasta(out, records, width);
+  std::istringstream in(out.str());
+  const auto again = repro::seq::read_fasta(in, alphabet);
+  if (again.size() != records.size()) finding("record count differs");
+  for (std::size_t k = 0; k < records.size(); ++k) {
+    if (again[k].name() != records[k].name())
+      finding("name differs for record " + std::to_string(k));
+    const auto a = records[k].codes();
+    const auto b = again[k].codes();
+    if (a.size() != b.size())
+      finding("length differs for record " + std::to_string(k));
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a[i] != b[i]) finding("codes differ for record " + std::to_string(k));
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // First byte selects the alphabet; the rest is the FASTA payload.
+  const auto& alphabet = (size != 0 && (data[0] & 1) != 0)
+                             ? repro::seq::Alphabet::dna()
+                             : repro::seq::Alphabet::protein();
+  const std::string payload(reinterpret_cast<const char*>(data) + (size ? 1 : 0),
+                            size ? size - 1 : 0);
+  std::vector<repro::seq::Sequence> records;
+  try {
+    std::istringstream in(payload);
+    records = repro::seq::read_fasta(in, alphabet);
+  } catch (const std::logic_error&) {
+    return 0;  // parser rejected the input: the expected failure mode
+  }
+  for (const int width : {1, 7, 70})
+    check_round_trip(records, alphabet, width);
+  return 0;
+}

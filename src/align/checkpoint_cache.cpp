@@ -63,6 +63,10 @@ std::optional<CheckpointView> CheckpointCache::find(int r0, bool plain_sweep,
   view.h = best->h.data();
   view.max_y = best->max_y.data();
   view.bytes = best->h.size();
+  // Checkpoint-resume consistency: a usable view names a real DP row with
+  // a stamped layout and equal-size H/MaxY buffers.
+  REPRO_DCHECK(view.row >= 1 && view.lanes >= 1 && view.elem_size >= 1);
+  REPRO_DCHECK(best->h.size() == best->max_y.size());
   return view;
 }
 
@@ -107,6 +111,13 @@ void CheckpointCache::store(int r0, bool plain_class, Score priority,
       e.rows.insert(pos, std::move(fresh));
     }
   }
+  if constexpr (check::kContractsEnabled) {
+    // The merge must keep the entry's rows strictly ascending — find()'s
+    // deepest-usable-row scan walks them back to front relying on it.
+    for (std::size_t t = 1; t < e.rows.size(); ++t)
+      REPRO_DCHECK_MSG(e.rows[t - 1].row < e.rows[t].row,
+                       "checkpoint rows out of order for group r0=" << r0);
+  }
   evict_over_budget(key);
 }
 
@@ -128,6 +139,16 @@ void CheckpointCache::invalidate(const PairDirtyIndex& dirty) {
       ++stats_.invalidated_rows;
     }
     rows.erase(first_dirty, rows.end());
+    if constexpr (check::kContractsEnabled) {
+      // Every surviving overridden row must sit strictly below the
+      // alignment's first dirty row; anything deeper could reflect override
+      // bits added after the emitting sweep.
+      for (const CheckpointRow& cr : rows)
+        REPRO_DCHECK_MSG(cr.row < md, "invalidation left a dirty checkpoint "
+                                      "row " << cr.row << " (min dirty " << md
+                                             << ") for group r0="
+                                             << key.first);
+    }
     if (rows.empty()) {
       it = entries_.erase(it);
     } else {

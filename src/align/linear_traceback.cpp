@@ -162,7 +162,8 @@ class PairPathReconstructor {
     return snap;
   }
 
-  void recurse(std::pair<int, int> pa, std::pair<int, int> pb, Wide total) {  // NOLINT(misc-no-recursion)
+  // NOLINTNEXTLINE(misc-no-recursion): divide-and-conquer halves rows per level
+  void recurse(std::pair<int, int> pa, std::pair<int, int> pb, Wide total) {
     const int interior_rows = pb.first - pa.first - 1;
     const int interior_cols = pb.second - pa.second - 1;
     if (interior_rows <= 0 || interior_cols <= 0) {

@@ -27,6 +27,10 @@ void OverrideTriangle::set(int i, int j) {
   const std::uint64_t old = word.fetch_or(mask, std::memory_order_relaxed);
   if ((old & mask) == 0) count_.fetch_add(1, std::memory_order_relaxed);
   row_dirty_[static_cast<std::size_t>(i)].store(true, std::memory_order_relaxed);
+  // Monotone growth (§3): a set bit is visible immediately and is never
+  // cleared by set(); the whole checkpoint-resume layer leans on this.
+  REPRO_DCHECK(contains(i, j));
+  REPRO_DCHECK(!row_empty(i));
 }
 
 void OverrideTriangle::clear() {

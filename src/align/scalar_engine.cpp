@@ -52,6 +52,14 @@ class ScalarEngine final : public Engine {
       std::memcpy(h_.data() + 1, ck.h, state_bytes);
       std::memcpy(max_y_.data() + 1, ck.max_y, state_bytes);
       y_begin = ck.row + 1;
+      if constexpr (check::kContractsEnabled) {
+        // Checkpoint-resume consistency: restored H is a clamped local-
+        // alignment row, so every column is nonnegative.
+        for (int x = 1; x <= cols; ++x)
+          REPRO_DCHECK_MSG(h_[static_cast<std::size_t>(x)] >= 0,
+                           "restored checkpoint row " << ck.row
+                               << " holds a negative H at column " << x);
+      }
     } else {
       h_.assign(static_cast<std::size_t>(cols) + 1, 0);
       max_y_.assign(static_cast<std::size_t>(cols) + 1, kNegInf);
@@ -78,14 +86,25 @@ class ScalarEngine final : public Engine {
       for (int x = 1; x <= cols; ++x) {
         const int j = r + x - 1;  // global suffix position
         const Score up = h_[static_cast<std::size_t>(x)];
-        const Score inner = std::max({max_x, max_y_[static_cast<std::size_t>(x)], diag});
+        const Score old_my = max_y_[static_cast<std::size_t>(x)];
+        const Score inner = std::max({max_x, old_my, diag});
         Score h = std::max(
             Score{0}, erow[seq[static_cast<std::size_t>(j)]] + inner);
         if (obits != nullptr && detail::override_bit(obits, i, j)) h = 0;
         h_[static_cast<std::size_t>(x)] = h;
-        max_x = std::max(diag - open, max_x) - ext;
-        max_y_[static_cast<std::size_t>(x)] =
-            std::max(diag - open, max_y_[static_cast<std::size_t>(x)]) - ext;
+        const Score next_mx = std::max(diag - open, max_x) - ext;
+        const Score next_my = std::max(diag - open, old_my) - ext;
+        if constexpr (check::kContractsEnabled) {
+          // Kernel cell contracts: local-alignment H never goes negative,
+          // and the running gap maxima decay at most `extend` per step
+          // (anything faster would lose reachable gap continuations).
+          REPRO_DCHECK_MSG(h >= 0, "negative H at (y=" << y << ", x=" << x
+                                                       << "), r=" << r);
+          REPRO_DCHECK(next_mx + ext >= max_x);
+          REPRO_DCHECK(next_my + ext >= old_my);
+        }
+        max_x = next_mx;
+        max_y_[static_cast<std::size_t>(x)] = next_my;
         diag = up;
       }
       if (sink != nullptr && emit_idx < sink->count &&

@@ -42,6 +42,7 @@
 #include "align/engine_detail.hpp"
 #include "align/override_triangle.hpp"
 #include "align/types.hpp"
+#include "check/contracts.hpp"
 #include "util/aligned.hpp"
 
 namespace repro::align::detail {
@@ -246,6 +247,13 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
     std::memcpy(h.data(), ck.h, state_bytes);
     std::memcpy(max_y.data(), ck.max_y, state_bytes);
     y_begin = ck.row + 1;
+    if constexpr (check::kContractsEnabled) {
+      // Checkpoint rows are emitted at y <= r0-1, above every lane's bottom
+      // row, so every restored lane-cell is a genuine (clamped) local score.
+      for (std::size_t e = 0; e < state_elems; ++e)
+        REPRO_DCHECK_MSG(h[e] >= 0, "restored checkpoint H negative at elem "
+                                        << e << " (group r0=" << r0 << ")");
+    }
   } else {
     h.assign(state_elems, 0);
     max_y.assign(state_elems, neg_inf_of<Elem>());
@@ -353,6 +361,12 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
         for (int c = std::max(c0, k); c < c1; ++c)
           row_out[static_cast<std::size_t>(c - k)] = static_cast<Score>(
               h[static_cast<std::size_t>(c) * L + static_cast<std::size_t>(k)]);
+        if constexpr (check::kContractsEnabled) {
+          for (int c = std::max(c0, k); c < c1; ++c)
+            REPRO_DCHECK_MSG(row_out[static_cast<std::size_t>(c - k)] >= 0,
+                             "negative bottom-row H (split r=" << r0 + k
+                                 << ", column " << c - k << ")");
+        }
       }
       // Emit this stripe's slice of a checkpoint row: h/max_y now hold
       // exactly the state a resume at row y+1 restores.
@@ -366,6 +380,16 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
                     h.data() + static_cast<std::size_t>(c0) * L, len);
         std::memcpy(cr.max_y.data() + off,
                     max_y.data() + static_cast<std::size_t>(c0) * L, len);
+        if constexpr (check::kContractsEnabled) {
+          // The emitted slice must satisfy the same non-negativity the
+          // resume path asserts before re-entering the sweep.
+          for (int c = c0; c < c1; ++c)
+            for (int k2 = 0; k2 < L; ++k2)
+              REPRO_DCHECK_MSG(
+                  h[static_cast<std::size_t>(c) * L +
+                    static_cast<std::size_t>(k2)] >= 0,
+                  "negative H in emitted checkpoint row " << y);
+        }
         ++emit_idx;
       }
     }

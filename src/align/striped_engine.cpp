@@ -122,15 +122,24 @@ class ScalarStripedEngine final : public Engine {
           const int xi = x - x0 + 1;  // stripe-local column
           const int j = r + x - 1;
           const Score up = h_[static_cast<std::size_t>(xi)];
-          const Score inner =
-              std::max({max_x, max_y_[static_cast<std::size_t>(xi)], diag});
+          const Score old_my = max_y_[static_cast<std::size_t>(xi)];
+          const Score inner = std::max({max_x, old_my, diag});
           Score h = std::max(Score{0},
                              erow[seq[static_cast<std::size_t>(j)]] + inner);
           if (obits != nullptr && detail::override_bit(obits, i, j)) h = 0;
           h_[static_cast<std::size_t>(xi)] = h;
-          max_x = std::max(diag - open, max_x) - ext;
-          max_y_[static_cast<std::size_t>(xi)] =
-              std::max(diag - open, max_y_[static_cast<std::size_t>(xi)]) - ext;
+          const Score next_mx = std::max(diag - open, max_x) - ext;
+          const Score next_my = std::max(diag - open, old_my) - ext;
+          if constexpr (check::kContractsEnabled) {
+            // Same kernel cell contracts as the plain scalar engine; the
+            // striping (carries included) must not change any cell value.
+            REPRO_DCHECK_MSG(h >= 0, "negative H at (y=" << y << ", x=" << x
+                                                         << "), r=" << r);
+            REPRO_DCHECK(next_mx + ext >= max_x);
+            REPRO_DCHECK(next_my + ext >= old_my);
+          }
+          max_x = next_mx;
+          max_y_[static_cast<std::size_t>(xi)] = next_my;
           diag = up;
           if (y == rows) out[0][static_cast<std::size_t>(x - 1)] = h;
         }

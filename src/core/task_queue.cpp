@@ -19,10 +19,18 @@ void GroupQueue::push(int group_index, TaskKey key) {
 
 std::optional<int> GroupQueue::pop_best() {
   if (entries_.empty()) return std::nullopt;
-  const int g = entries_.begin()->second;
+  const auto head = *entries_.begin();
   entries_.erase(entries_.begin());
   pops_ += 1;
-  return g;
+  // Best-first ordering (Fig. 5): nothing left in the queue may order
+  // before the key just popped.
+  REPRO_DCHECK_MSG(entries_.empty() ||
+                       !entries_.begin()->first.before(head.first),
+                   "queue head (score=" << entries_.begin()->first.score
+                       << ", r=" << entries_.begin()->first.r
+                       << ") orders before the popped key (score="
+                       << head.first.score << ", r=" << head.first.r << ")");
+  return head.second;
 }
 
 std::optional<TaskKey> GroupQueue::peek_key() const {

@@ -114,6 +114,9 @@ class SequentialRun {
         view = *found;
         job.resume = &view;
         resumed = view.row;
+        // Checkpoint-resume consistency: a resume point must lie strictly
+        // inside the group's row range (the kernel re-enters at row + 1).
+        REPRO_DCHECK(view.row >= 1 && view.row < job.r0);
       }
     }
     sink.stride = ckpt_stride(rows);
@@ -208,7 +211,10 @@ class SequentialRun {
         ++st.first_alignments;
         g.score[static_cast<std::size_t>(k)] = align::find_best_end(row).score;
       } else {
-        if (g.version[static_cast<std::size_t>(k)] == version()) {
+        const align::Score old_score = g.score[static_cast<std::size_t>(k)];
+        const bool was_current =
+            g.version[static_cast<std::size_t>(k)] == version();
+        if (was_current) {
           ++st.speculative;  // lane-mate recomputed although already current
         } else {
           ++st.realignments;
@@ -220,6 +226,25 @@ class SequentialRun {
                       row, std::span<const align::Score>(
                                plain_rows_[static_cast<std::size_t>(k)]))
                       .score;
+        if constexpr (check::kContractsEnabled) {
+          // Upper-bound property (Fig. 5): the triangle only removes
+          // scoring mass, so a realignment against a grown triangle can
+          // never raise a member's score — and recomputing an up-to-date
+          // member (same triangle, same shadow row) is deterministic.
+          if (was_current) {
+            REPRO_DCHECK_MSG(
+                g.score[static_cast<std::size_t>(k)] == old_score,
+                "speculative recompute changed r=" << r << " from "
+                    << old_score << " to "
+                    << g.score[static_cast<std::size_t>(k)]);
+          } else {
+            REPRO_DCHECK_MSG(
+                g.score[static_cast<std::size_t>(k)] <= old_score,
+                "realignment raised r=" << r << " from " << old_score
+                    << " to " << g.score[static_cast<std::size_t>(k)]
+                    << " — upper-bound property violated");
+          }
+        }
       }
       g.version[static_cast<std::size_t>(k)] = version();
     }
@@ -295,6 +320,20 @@ class SequentialRun {
   /// Indexes the just-accepted alignment's pairs and invalidates checkpoints
   /// the new override bits can reach.
   void record_acceptance() {
+    if constexpr (check::kContractsEnabled) {
+      REPRO_DCHECK(!result_.tops.empty());
+      const std::size_t n = result_.tops.size();
+      // Acceptance order (§2.2): scores never increase down the top list.
+      REPRO_DCHECK_MSG(
+          n < 2 || result_.tops[n - 1].score <= result_.tops[n - 2].score,
+          "acceptance " << n - 1 << " (score "
+                        << result_.tops[n - 1].score
+                        << ") outranks its predecessor (score "
+                        << result_.tops[n - 2].score << ")");
+      // Triangle monotone growth: every accepted pair is now overridden.
+      for (const auto& [i, j] : result_.tops.back().pairs)
+        REPRO_DCHECK(triangle_.contains(i, j));
+    }
     if (!incremental()) return;
     const TopAlignment& top = result_.tops.back();
     const std::span<const std::pair<int, int>> pairs(top.pairs);

@@ -217,6 +217,17 @@ class SharedRun {
                                                     rows_, r, expected);
     lock.lock();
     tops_.push_back(std::move(top));
+    if constexpr (check::kContractsEnabled) {
+      // Acceptance order and triangle growth, as in the sequential finder.
+      const std::size_t n = tops_.size();
+      REPRO_DCHECK_MSG(n < 2 || tops_[n - 1].score <= tops_[n - 2].score,
+                       "parallel acceptance " << n - 1 << " (score "
+                           << tops_[n - 1].score
+                           << ") outranks its predecessor (score "
+                           << tops_[n - 2].score << ")");
+      for (const auto& [pi, pj] : tops_.back().pairs)
+        REPRO_DCHECK(triangle_.contains(pi, pj));
+    }
     if (options_.finder.checkpoint_mem > 0)
       dirty_.emplace_back(
           std::span<const std::pair<int, int>>(tops_.back().pairs));
@@ -232,6 +243,8 @@ class SharedRun {
     const TaskKey bound = g.key();
     const int v = version();  // label: triangle version at kernel start
     const std::vector<int> prev_version = g.version;
+    std::vector<align::Score> prev_score;  // contracts-only snapshot
+    if constexpr (check::kContractsEnabled) prev_score = g.score;
     const auto it = inflight_.insert(bound);
     ++stats_.queue_pops;
     const int rows_g = g.r0 + g.count - 1;
@@ -304,6 +317,18 @@ class SharedRun {
         md = std::min(md,
                       dirty_[static_cast<std::size_t>(t)].min_dirty_row(g.r0));
       ck.sink.drop_from(md);
+      if constexpr (check::kContractsEnabled) {
+        // Partition-commit correctness: no staged row at or past the min
+        // dirty row of any mid-sweep acceptance may survive the drop —
+        // such rows could reflect torn override-bit reads.
+        for (int idx = 0; idx < ck.sink.count; ++idx)
+          REPRO_DCHECK_MSG(
+              ck.sink.rows[static_cast<std::size_t>(idx)].row < md,
+              "torn-read-unsafe checkpoint row "
+                  << ck.sink.rows[static_cast<std::size_t>(idx)].row
+                  << " survived drop_from(" << md << ") for group r0="
+                  << g.r0);
+      }
       const align::Score priority =
           *std::max_element(new_scores.begin(), new_scores.end());
       ck.cache->store(g.r0, /*plain_class=*/v == 0, priority, ck.sink);
@@ -320,6 +345,18 @@ class SharedRun {
         ++stats_.speculative;
       } else {
         ++stats_.realignments;
+      }
+      if constexpr (check::kContractsEnabled) {
+        // Upper-bound property under speculation: the sweep observed at
+        // least the version-v triangle (bits only get added), so a member
+        // aligned before can never come back with a higher score.
+        if (prev_version[static_cast<std::size_t>(k)] >= 0)
+          REPRO_DCHECK_MSG(
+              new_scores[static_cast<std::size_t>(k)] <=
+                  prev_score[static_cast<std::size_t>(k)],
+              "parallel realignment raised r=" << g.r0 + k << " from "
+                  << prev_score[static_cast<std::size_t>(k)] << " to "
+                  << new_scores[static_cast<std::size_t>(k)]);
       }
       g.score[static_cast<std::size_t>(k)] = new_scores[static_cast<std::size_t>(k)];
       g.version[static_cast<std::size_t>(k)] = v;

@@ -21,7 +21,8 @@ struct AlignedAllocator {
 
   AlignedAllocator() noexcept = default;
   template <typename U>
-  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): rebinding converting ctor
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
 
   T* allocate(std::size_t n) {
     if (n == 0) return nullptr;

@@ -1,13 +1,16 @@
 // Lightweight runtime checking.
 //
 // REPRO_CHECK is always on and is used to validate public-API preconditions
-// and cross-module invariants; REPRO_DCHECK compiles away in release builds
-// and guards hot inner-loop invariants.
+// and cross-module invariants; REPRO_DCHECK (check/contracts.hpp, included
+// below for compatibility) guards hot inner-loop invariants and is compiled
+// in by the `checked` preset or any non-NDEBUG build.
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "check/contracts.hpp"
 
 namespace repro::util {
 
@@ -36,10 +39,3 @@ namespace repro::util {
     }                                                                         \
   } while (0)
 
-#ifdef NDEBUG
-#define REPRO_DCHECK(expr) \
-  do {                     \
-  } while (0)
-#else
-#define REPRO_DCHECK(expr) REPRO_CHECK(expr)
-#endif

@@ -33,9 +33,13 @@ RunResult run_cli(const std::string& args) {
 }
 
 std::string temp_fasta() {
-  const auto path =
-      std::filesystem::temp_directory_path() / "reprofind_cli_test.fa";
-  return path.string();
+  // Per-test file: gtest_discover_tests registers each TEST as its own ctest
+  // entry, and a parallel ctest run must not let one test's `generate`
+  // truncate a FASTA another test is reading.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string name =
+      std::string("reprofind_cli_") + info->name() + ".fa";
+  return (std::filesystem::temp_directory_path() / name).string();
 }
 
 TEST(Cli, InfoListsEngines) {

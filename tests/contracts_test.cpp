@@ -1,0 +1,77 @@
+// Behavior of the REPRO_DCHECK contract macros (src/check/contracts.hpp).
+//
+// Contracts are compiled in under !NDEBUG or -DREPRO_CONTRACTS_ENABLED=1
+// (the `checked` preset); in plain Release they vanish entirely — including
+// their condition expressions, which this test proves by side effect. The
+// zero-codegen guarantee for kernel TUs is additionally checked by
+// tools/lint.sh (no dcheck_failed symbol in Release engine objects).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "check/contracts.hpp"
+
+namespace {
+
+TEST(Contracts, FlagMatchesMacro) {
+#if REPRO_CONTRACTS_ENABLED
+  EXPECT_TRUE(repro::check::kContractsEnabled);
+#else
+  EXPECT_FALSE(repro::check::kContractsEnabled);
+#endif
+}
+
+TEST(Contracts, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(REPRO_DCHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(REPRO_DCHECK_MSG(true, "never shown"));
+}
+
+#if REPRO_CONTRACTS_ENABLED
+
+TEST(Contracts, FailingCheckThrowsLogicError) {
+  EXPECT_THROW(REPRO_DCHECK(false), std::logic_error);
+}
+
+TEST(Contracts, MessageNamesExpressionAndLocation) {
+  try {
+    REPRO_DCHECK_MSG(2 < 1, "two is not less than " << 1);
+    FAIL() << "REPRO_DCHECK_MSG(false) did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("contract violated"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, ConditionIsEvaluatedWhenEnabled) {
+  int evaluations = 0;
+  const auto probe = [&]() {
+    ++evaluations;
+    return true;
+  };
+  REPRO_DCHECK(probe());
+  EXPECT_EQ(evaluations, 1);
+}
+
+#else  // !REPRO_CONTRACTS_ENABLED
+
+TEST(Contracts, DisabledChecksDoNotEvaluateCondition) {
+  // In Release the macro must compile the condition away entirely — a
+  // contract with an expensive or throwing condition costs nothing.
+  int evaluations = 0;
+  const auto probe = [&]() {
+    ++evaluations;
+    return false;
+  };
+  REPRO_DCHECK(probe());
+  REPRO_DCHECK_MSG(probe(), "never evaluated either");
+  (void)probe;  // the disabled macros must not odr-use it
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif
+
+}  // namespace

@@ -83,12 +83,17 @@ TEST_P(Equivalence, EveryEngineProducesIdenticalTops) {
   std::vector<align::EngineKind> kinds{align::EngineKind::kScalarStriped,
                                        align::EngineKind::kGeneralGap,
                                        align::EngineKind::kSimd4Generic,
-                                       align::EngineKind::kSimd8Generic};
+                                       align::EngineKind::kSimd8Generic,
+                                       align::EngineKind::kSimd4x32Generic};
 #if REPRO_HAVE_SSE2
   kinds.push_back(align::EngineKind::kSimd4);
   kinds.push_back(align::EngineKind::kSimd8);
+  if (align::sse41_available()) kinds.push_back(align::EngineKind::kSimd4x32);
 #endif
-  if (align::avx2_available()) kinds.push_back(align::EngineKind::kSimd16);
+  if (align::avx2_available()) {
+    kinds.push_back(align::EngineKind::kSimd16);
+    kinds.push_back(align::EngineKind::kSimd8x32);
+  }
 
   for (const auto kind : kinds) {
     const auto engine = align::make_engine(kind);

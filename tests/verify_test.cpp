@@ -1,0 +1,124 @@
+// Negative-path coverage for core/verify: every invariant check must reject
+// a violating input with a descriptive message. The positive paths are
+// exercised constantly by the equivalence suites; these tests make sure the
+// verifier itself cannot silently rot.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "align/engine.hpp"
+#include "core/top_alignment_finder.hpp"
+#include "core/verify.hpp"
+#include "seq/generator.hpp"
+
+namespace repro::core {
+namespace {
+
+struct Fixture : ::testing::Test {
+  void SetUp() override {
+    auto g = seq::synthetic_dna_tandem(140, 12, 6, 21);
+    sequence = std::move(g.sequence);
+    scoring = seq::Scoring::paper_example();
+    FinderOptions opt;
+    opt.num_top_alignments = 6;
+    const auto engine = align::make_engine(align::EngineKind::kScalar);
+    tops = find_top_alignments(sequence, scoring, opt, *engine).tops;
+    ASSERT_GE(tops.size(), 2u);
+    ASSERT_NO_THROW(validate_tops(tops, sequence, scoring));
+  }
+
+  void expect_rejects(const std::vector<TopAlignment>& bad,
+                      const std::string& fragment) {
+    try {
+      validate_tops(bad, sequence, scoring);
+      FAIL() << "validate_tops accepted a violation; expected message with \""
+             << fragment << "\"";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << "message was: " << e.what();
+    }
+  }
+
+  seq::Sequence sequence = seq::Sequence::from_string(
+      "placeholder", "A", seq::Alphabet::dna());
+  seq::Scoring scoring = seq::Scoring::paper_example();
+  std::vector<TopAlignment> tops;
+};
+
+TEST_F(Fixture, RejectsCorruptedScore) {
+  auto bad = tops;
+  bad[0].score += 1;
+  expect_rejects(bad, "!= recomputed");
+}
+
+TEST_F(Fixture, RejectsOverlappingPairAcrossTops) {
+  // Duplicate the first alignment: every pair of the copy is already used.
+  auto bad = tops;
+  bad.insert(bad.begin() + 1, bad[0]);
+  expect_rejects(bad, "reused across top alignments");
+}
+
+TEST_F(Fixture, RejectsIncreasingScoreSequence) {
+  // Find two adjacent tops with strictly decreasing scores and swap them.
+  std::size_t t = 0;
+  while (t + 1 < tops.size() && tops[t].score == tops[t + 1].score) ++t;
+  ASSERT_LT(t + 1, tops.size()) << "need two distinct scores";
+  auto bad = tops;
+  std::swap(bad[t], bad[t + 1]);
+  expect_rejects(bad, "exceeds previous");
+}
+
+TEST_F(Fixture, RejectsNonAscendingPairList) {
+  auto bad = tops;
+  ASSERT_GE(bad[0].pairs.size(), 3u);
+  // Swapping two interior pairs keeps the bottom-row/end_x checks satisfied
+  // so the score recomputation's ordering check is the one that fires.
+  std::swap(bad[0].pairs[0], bad[0].pairs[1]);
+  expect_rejects(bad, "pairs not strictly ascending");
+}
+
+TEST_F(Fixture, RejectsPairOutsideRectangle) {
+  auto bad = tops;
+  // Move the split past the whole pair list: prefix side must be < r.
+  bad[0].pairs.front().first = bad[0].r;
+  expect_rejects(bad, "outside rectangle");
+}
+
+TEST_F(Fixture, RejectsAlignmentNotEndingInBottomRow) {
+  auto bad = tops;
+  ASSERT_GE(bad[0].pairs.size(), 2u);
+  bad[0].pairs.pop_back();
+  expect_rejects(bad, "does not end in the bottom row");
+}
+
+TEST_F(Fixture, RejectsNonpositiveScore) {
+  auto bad = tops;
+  bad[0].score = 0;
+  expect_rejects(bad, "nonpositive score");
+}
+
+TEST_F(Fixture, SameTopsReportsCountDifference) {
+  auto b = tops;
+  b.pop_back();
+  std::string diff;
+  EXPECT_FALSE(same_tops(tops, b, &diff));
+  EXPECT_NE(diff.find("count differs"), std::string::npos) << diff;
+}
+
+TEST_F(Fixture, SameTopsReportsFirstDivergentTop) {
+  auto b = tops;
+  b[1].score += 3;
+  std::string diff;
+  EXPECT_FALSE(same_tops(tops, b, &diff));
+  EXPECT_NE(diff.find("top 1 differs"), std::string::npos) << diff;
+}
+
+TEST_F(Fixture, SameTopsAcceptsIdenticalLists) {
+  std::string diff;
+  EXPECT_TRUE(same_tops(tops, tops, &diff));
+  EXPECT_TRUE(diff.empty());
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -13,7 +13,7 @@
 #   --update   rewrite BENCH_scheduler.json from this machine's run
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 build=build
 update=0
 for arg in "$@"; do
@@ -38,7 +38,9 @@ trap 'rm -rf "$out_dir"' EXIT
 # Up to three attempts: absolute rates (cells_per_sec) dip under transient
 # machine load, and a real regression fails all three identically.
 attempts=3
-[ "$update" = 1 ] && attempts=1
+if [ "$update" = 1 ]; then
+  attempts=1
+fi
 for attempt in $(seq 1 "$attempts"); do
   # Reduced-but-representative workload; must match the baseline's params.
   "$build/bench/bench_scheduler" --m 800 --tops 15 --seeds 1,2 \
@@ -88,7 +90,9 @@ PY
   then
     exit 0
   fi
-  [ "$attempt" -lt "$attempts" ] && echo "attempt $attempt failed; retrying"
+  if [ "$attempt" -lt "$attempts" ]; then
+    echo "attempt $attempt failed; retrying"
+  fi
 done
 echo "perf smoke failed on all $attempts attempts" >&2
 exit 1

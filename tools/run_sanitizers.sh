@@ -6,10 +6,12 @@
 # (build-asan / build-tsan) so the regular build/ stays untouched.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 jobs=$(nproc 2>/dev/null || echo 4)
 sanitizers=("$@")
-[ ${#sanitizers[@]} -eq 0 ] && sanitizers=(address thread)
+if [ "${#sanitizers[@]}" -eq 0 ]; then
+  sanitizers=(address thread)
+fi
 
 status=0
 for san in "${sanitizers[@]}"; do
@@ -30,4 +32,4 @@ for san in "${sanitizers[@]}"; do
     status=1
   fi
 done
-exit $status
+exit "$status"
