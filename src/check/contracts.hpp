@@ -2,7 +2,12 @@
 //
 // REPRO_DCHECK / REPRO_DCHECK_MSG state internal invariants of the hot
 // paths — kernel cell properties, checkpoint-resume consistency, queue
-// ordering, triangle monotonicity. They are compiled in when
+// ordering, triangle monotonicity, and the cluster recovery protocol
+// (cluster/master_worker.cpp): an assignment record may only be cancelled
+// while its queue key is unchanged, sync replies never shrink a worker's
+// triangle version, and a group completing with member_version == -1 must
+// carry version-0 rows — the invariants that make timed-out work safe to
+// requeue and duplicate results safe to drop. They are compiled in when
 // REPRO_CONTRACTS_ENABLED is 1 (the `checked` CMake preset, or any
 // non-NDEBUG build) and compile to *nothing* otherwise: the condition is
 // not evaluated, no code is generated, and the failure handler symbol

@@ -26,6 +26,7 @@ struct Completion {
   int version = 0;  // triangle version the alignment ran against
   TaskKey bound;
   int worker = 0;
+  bool lost = false;  // worker died mid-task; `time` is the detection time
 
   bool operator>(const Completion& o) const { return time > o.time; }
 };
@@ -42,6 +43,16 @@ class Simulation {
         workers_(model.processors <= 1 ? 1 : model.processors - 1) {
     REPRO_CHECK(model.processors >= 1);
     REPRO_CHECK(finder.min_score >= 1);
+    if (model.processors > 1 && !model.worker_failure_times.empty()) {
+      // Same recovery regime as the live protocol: at least one worker must
+      // outlive the run for the output guarantee to hold.
+      bool survivor = false;
+      for (int w = 0; w < workers_ && !survivor; ++w)
+        survivor = failure_time(w) <= 0.0;
+      REPRO_CHECK_MSG(survivor,
+                      "worker_failure_times must leave one worker alive");
+      has_failures_ = true;
+    }
     oracle_.begin_run();
     const auto& layout = oracle_.group_layout();
     groups_.assign(layout.begin(), layout.end());
@@ -72,6 +83,24 @@ class Simulation {
 
  private:
   int version() const { return oracle_.version(); }
+
+  /// Scheduled failure time for worker `w`; <= 0 means "never fails".
+  double failure_time(int w) const {
+    const auto& times = model_.worker_failure_times;
+    return static_cast<std::size_t>(w) < times.size()
+               ? times[static_cast<std::size_t>(w)]
+               : 0.0;
+  }
+
+  bool fails_before(int w, double t) const {
+    if (!has_failures_) return false;
+    const double f = failure_time(w);
+    return f > 0.0 && f <= t;
+  }
+
+  void note_worker_lost(int w) {
+    if (lost_workers_.insert(w).second) ++result_.workers_lost;
+  }
 
   bool group_stale(int gi) const {
     const GroupTask& g = groups_[static_cast<std::size_t>(gi)];
@@ -112,6 +141,13 @@ class Simulation {
   }
 
   bool try_assign() {
+    // Idle workers whose scheduled failure has already struck are gone: the
+    // master would find their channel closed on the next assignment attempt.
+    while (!idle_.empty() &&
+           fails_before(idle_.back(), std::max(now_, master_free_))) {
+      note_worker_lost(idle_.back());
+      idle_.pop_back();
+    }
     if (idle_.empty()) return false;
     const auto gi = queue_.pop_best_if([this](int g) { return group_stale(g); });
     if (!gi) return false;
@@ -161,6 +197,17 @@ class Simulation {
     c.version = version();
     c.bound = g.key();
     c.worker = w;
+    if (fails_before(w, c.time)) {
+      // Worker dies mid-task: the result never arrives. The master notices
+      // the closed channel one latency after the failure and requeues the
+      // task then — until detection the task stays in-flight, blocking
+      // acceptance exactly as in the live protocol.
+      note_worker_lost(w);
+      const double fail = std::max(failure_time(w), start);
+      duration = fail - start;  // busy time actually delivered
+      c.time = fail + (distributed ? model_.latency_sec : 0.0);
+      c.lost = true;
+    }
     running_.push(c);
     inflight_.insert(c.bound);
     busy_time_ += duration;
@@ -176,6 +223,14 @@ class Simulation {
     REPRO_CHECK(inflight_it != inflight_.end());
     inflight_.erase(inflight_it);
     GroupTask& g = groups_[static_cast<std::size_t>(c.gi)];
+    if (c.lost) {
+      // Detection of a failed worker: discard the undelivered scores and
+      // requeue the task (unchanged key); the worker never returns to idle.
+      pending_scores_.erase({c.gi, c.version});
+      ++result_.reassignments;
+      queue_.push(c.gi, g.key());
+      return;
+    }
     const auto scores_it = pending_scores_.find({c.gi, c.version});
     REPRO_CHECK(scores_it != pending_scores_.end());
     for (int k = 0; k < g.count; ++k) {
@@ -203,11 +258,13 @@ class Simulation {
   std::map<std::pair<int, int>, std::vector<align::Score>> pending_scores_;
   std::set<std::pair<int, int>> node_cache_;
   std::vector<int> idle_;
+  std::set<int> lost_workers_;
 
   double now_ = 0.0;
   double master_free_ = 0.0;
   double busy_time_ = 0.0;
   bool exhausted_ = false;
+  bool has_failures_ = false;
   SimResult result_;
 };
 
@@ -224,6 +281,8 @@ SimResult simulate_cluster(AlignmentOracle& oracle, const ClusterModel& model,
     reg.counter("vcluster.row_replica_bytes").add(result.row_replica_bytes);
     reg.counter("vcluster.comm_messages_modelled")
         .add(result.comm_messages_modelled);
+    reg.counter("vcluster.reassignments").add(result.reassignments);
+    reg.counter("vcluster.workers_lost").add(result.workers_lost);
     reg.timer("vcluster.comm_seconds_modelled")
         .add_seconds(result.comm_seconds_modelled);
     reg.set_gauge("vcluster.worker_busy_fraction",

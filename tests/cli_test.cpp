@@ -124,6 +124,38 @@ TEST(Cli, ParallelThreadsAgreeWithSequential) {
   EXPECT_EQ(seq.out, par.out);
 }
 
+TEST(Cli, ClusterRanksAgreeWithSequentialEvenUnderFaults) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind titin --length 260 --out " + fasta).status, 0);
+  const RunResult seq = run_cli("find --fasta " + fasta +
+                                " --tops 5 --engine scalar --format csv");
+  const RunResult clu = run_cli("find --fasta " + fasta +
+                                " --tops 5 --engine scalar --ranks 3 "
+                                "--row-storage partitioned --format csv");
+  const RunResult faulted = run_cli("find --fasta " + fasta +
+                                    " --tops 5 --engine scalar --ranks 3 "
+                                    "--fault-seed 7 --format csv");
+  EXPECT_EQ(seq.status, 0);
+  EXPECT_EQ(clu.status, 0) << clu.out;
+  EXPECT_EQ(faulted.status, 0) << faulted.out;
+  EXPECT_EQ(seq.out, clu.out);
+  EXPECT_EQ(seq.out, faulted.out);
+}
+
+TEST(Cli, FaultFlagsRequireClusterRun) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind titin --length 200 --out " + fasta)
+                .status, 0);
+  const RunResult r =
+      run_cli("find --fasta " + fasta + " --tops 2 --fault-seed 3");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.out.find("--ranks"), std::string::npos) << r.out;
+  const RunResult bad_plan = run_cli("find --fasta " + fasta +
+                                     " --tops 2 --ranks 3 --fault-plan "
+                                     "crash:rank=0,op=1");
+  EXPECT_NE(bad_plan.status, 0) << bad_plan.out;
+}
+
 TEST(Cli, MissingFastaFails) {
   const RunResult r = run_cli("find --tops 3");
   EXPECT_NE(r.status, 0);

@@ -20,6 +20,11 @@ metrics-naming        string literals fed to counter()/timer()/set_gauge()
                       repro-metrics-v1 grammar
                       [a-z][a-z0-9_]*(\\.[a-z][a-z0-9_]*)* — a trailing '.'
                       marks a prefix literal completed at runtime.
+metrics-registry      metric literals under the cluster./vcluster.
+                      namespaces must appear in CLUSTER_METRIC_NAMES: the
+                      grammar accepts any well-formed name, so a typo'd
+                      counter would silently fork a new time series. Add
+                      new names to the registry alongside the code.
 nolint-reason         every NOLINT must name its check and give a reason:
                       // NOLINT(<check>): <reason>
 shell-hygiene         shell scripts start with a bash shebang and set
@@ -59,6 +64,35 @@ LOCK_TOKENS = re.compile(
 )
 
 METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*\.?$")
+
+# Known-names registry for the cluster namespaces (metrics-registry rule).
+# Runtime-suffixed per-rank variants (cluster.messages.rank3, ...) share
+# their base literal; a bare "cluster." / "vcluster." literal is a prefix
+# completed at runtime and is exempt.
+CLUSTER_METRIC_NAMES = {
+    "cluster.messages",
+    "cluster.payload_words",
+    "cluster.row_replicas_served",
+    "cluster.row_deposits",
+    "cluster.ranks",
+    "cluster.faults_injected",
+    "cluster.retries",
+    "cluster.reassignments",
+    "cluster.heartbeat_misses",
+    "cluster.stale_results",
+    "cluster.row_rebuilds",
+    "cluster.sync_requests",
+    "cluster.workers_lost",
+    "vcluster.runs",
+    "vcluster.assignments",
+    "vcluster.row_replica_bytes",
+    "vcluster.comm_messages_modelled",
+    "vcluster.comm_seconds_modelled",
+    "vcluster.reassignments",
+    "vcluster.workers_lost",
+    "vcluster.worker_busy_fraction",
+    "vcluster.makespan_sec",
+}
 METRIC_CALL = re.compile(r"\b(?:counter|timer|set_gauge)\(\s*\"([^\"]*)\"")
 METRIC_KEY_CALL = re.compile(r"\bkey\(\s*\"([^\"]*)\"")
 
@@ -231,6 +265,14 @@ def check_metrics_naming() -> None:
                     fail(path, no, "metrics-naming",
                          f'metric name "{name}" violates repro-metrics-v1 '
                          "([a-z][a-z0-9_]* dot-separated segments)")
+                elif (re.match(r"^v?cluster\.", name)
+                      and not name.endswith(".")
+                      and name not in CLUSTER_METRIC_NAMES
+                      and not allowed(line, "metrics-registry")):
+                    fail(path, no, "metrics-registry",
+                         f'metric name "{name}" is not in the '
+                         "CLUSTER_METRIC_NAMES registry (tools/repro_lint.py)"
+                         " — add it there or fix the typo")
 
 
 def check_nolint_reasons() -> None:

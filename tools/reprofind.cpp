@@ -3,6 +3,7 @@
 //
 //   reprofind find --fasta proteins.fa --tops 25 [--format json]
 //   reprofind find --fasta reads.fa --alphabet dna --repeats
+//   reprofind find --fasta proteins.fa --ranks 4 --fault-seed 7
 //   reprofind generate --kind titin --length 3000 --out titin.fa
 //   reprofind info
 //
@@ -12,6 +13,7 @@
 #include <iostream>
 
 #include "align/engine.hpp"
+#include "cluster/master_worker.hpp"
 #include "core/consensus.hpp"
 #include "core/delineate.hpp"
 #include "core/top_alignment_finder.hpp"
@@ -149,6 +151,19 @@ int cmd_find(int argc, char** argv) {
                    {"min-score", "stop below this score (default 1)"},
                    {"engine", "scalar|striped|simd4|simd8|simd16|simd4x32|simd8x32|best"},
                    {"threads", "shared-memory workers (default 1 = sequential)"},
+                   {"ranks",
+                    "simulated cluster ranks incl. master (default 1 = no "
+                    "cluster; excludes --threads)"},
+                   {"row-storage",
+                    "cluster bottom-row placement: replica (default) | "
+                    "partitioned"},
+                   {"fault-seed",
+                    "inject a seeded fault schedule into the cluster run "
+                    "(drops/delays/dups/crashes; recovery keeps output "
+                    "identical)"},
+                   {"fault-plan",
+                    "explicit fault schedule, e.g. "
+                    "'drop:from=1,to=0,op=3;crash:rank=2,op=40'"},
                    {"low-memory", "recompute bottom rows instead of archiving"},
                    {"checkpoint-mem",
                     "realignment checkpoint cache budget in MiB (default 256; "
@@ -183,6 +198,29 @@ int cmd_find(int argc, char** argv) {
   if (args.get_flag("linear-traceback"))
     opt.traceback = core::TracebackMode::kLinearSpace;
   const int threads = static_cast<int>(args.get_int("threads", 1));
+  const int ranks = static_cast<int>(args.get_int("ranks", 1));
+  REPRO_CHECK_MSG(ranks >= 1, "--ranks must be >= 1");
+  REPRO_CHECK_MSG(threads == 1 || ranks == 1,
+                  "--threads and --ranks are mutually exclusive");
+  const std::string row_storage_name = args.get("row-storage", "replica");
+  REPRO_CHECK_MSG(
+      row_storage_name == "replica" || row_storage_name == "partitioned",
+      "--row-storage must be replica or partitioned");
+  REPRO_CHECK_MSG(!(args.has("fault-seed") && args.has("fault-plan")),
+                  "--fault-seed and --fault-plan are mutually exclusive");
+  REPRO_CHECK_MSG(!(args.has("fault-seed") || args.has("fault-plan")) ||
+                      ranks > 1,
+                  "fault injection needs a cluster run (--ranks > 1)");
+  cluster::ClusterOptions copt;
+  copt.ranks = ranks;
+  copt.row_storage = row_storage_name == "partitioned"
+                         ? cluster::RowStorage::kPartitioned
+                         : cluster::RowStorage::kMasterReplica;
+  if (args.has("fault-seed"))
+    copt.fault_plan = cluster::FaultPlan::from_seed(
+        static_cast<std::uint64_t>(args.get_int("fault-seed", 0)), ranks);
+  if (args.has("fault-plan"))
+    copt.fault_plan = cluster::FaultPlan::parse(args.get("fault-plan", ""));
   const std::string engine_name = args.get("engine", "best");
   const bool want_repeats = args.get_flag("repeats");
   const std::string format = args.get("format", "text");
@@ -199,6 +237,7 @@ int cmd_find(int argc, char** argv) {
 
   core::FinderStats total_stats;
   std::uint64_t total_tops = 0;
+  cluster::ClusterRunInfo cluster_total;
 
   util::JsonWriter json;
   if (format == "json") json.begin_array();
@@ -208,7 +247,28 @@ int cmd_find(int argc, char** argv) {
 
   for (const auto& record : records) {
     core::FinderResult res;
-    if (threads > 1) {
+    if (ranks > 1) {
+      copt.finder = opt;
+      const auto factory =
+          engine_name == "best"
+              ? align::EngineFactory([] { return align::make_best_engine(); })
+              : align::engine_factory(engine_kind_from(engine_name));
+      cluster::ClusterRunInfo info;
+      res = cluster::find_top_alignments_cluster(record, scoring, copt, factory,
+                                                 &info);
+      cluster_total.messages += info.messages;
+      cluster_total.payload_words += info.payload_words;
+      cluster_total.row_replicas_served += info.row_replicas_served;
+      cluster_total.row_deposits += info.row_deposits;
+      cluster_total.faults_injected += info.faults_injected;
+      cluster_total.retries += info.retries;
+      cluster_total.reassignments += info.reassignments;
+      cluster_total.heartbeat_misses += info.heartbeat_misses;
+      cluster_total.stale_results += info.stale_results;
+      cluster_total.row_rebuilds += info.row_rebuilds;
+      cluster_total.sync_requests += info.sync_requests;
+      cluster_total.workers_lost += info.workers_lost;
+    } else if (threads > 1) {
       parallel::ParallelOptions popt;
       popt.threads = threads;
       popt.finder = opt;
@@ -267,6 +327,26 @@ int cmd_find(int argc, char** argv) {
     report.param("fasta", args.get("fasta", ""));
     report.param("engine", engine_name);
     report.param("threads", threads);
+    if (ranks > 1) {
+      report.param("ranks", ranks);
+      report.param("row_storage", row_storage_name);
+      if (!copt.fault_plan.empty())
+        report.param("fault_plan", copt.fault_plan.to_string());
+      report.counter("cluster_messages", cluster_total.messages);
+      report.counter("cluster_payload_words", cluster_total.payload_words);
+      report.counter("cluster_row_replicas_served",
+                     cluster_total.row_replicas_served);
+      report.counter("cluster_row_deposits", cluster_total.row_deposits);
+      report.counter("cluster_faults_injected", cluster_total.faults_injected);
+      report.counter("cluster_retries", cluster_total.retries);
+      report.counter("cluster_reassignments", cluster_total.reassignments);
+      report.counter("cluster_heartbeat_misses",
+                     cluster_total.heartbeat_misses);
+      report.counter("cluster_stale_results", cluster_total.stale_results);
+      report.counter("cluster_row_rebuilds", cluster_total.row_rebuilds);
+      report.counter("cluster_sync_requests", cluster_total.sync_requests);
+      report.counter("cluster_workers_lost", cluster_total.workers_lost);
+    }
     report.param("tops_requested", opt.num_top_alignments);
     report.param("sequences", static_cast<std::int64_t>(records.size()));
     report.metric("seconds", total_stats.seconds);
