@@ -19,9 +19,12 @@ namespace repro::bench {
 ///
 /// JSON parity note (the de-facto bench/README): the table benches
 /// (bench_scheduler, bench_table*) emit the repro-metrics-v1 format below
-/// via --json <path>. bench_kernels is a google-benchmark binary and does
-/// NOT take --json; machine-readable output comes from google-benchmark's
-/// native serializer instead:
+/// via --json <path>. bench_kernels is a google-benchmark binary with one
+/// carve-out: `bench_kernels --json <path>` runs the adaptive-precision
+/// ablation (u8-vs-i16 rates, same-tops matrix, escalation stats) and
+/// writes the same repro-metrics-v1 record as the table benches, while the
+/// microbenchmarks' machine-readable output still comes from
+/// google-benchmark's native serializer:
 ///
 ///   bench_kernels --benchmark_format=json [--benchmark_out=<path>]
 ///

@@ -18,6 +18,25 @@
 
 namespace repro::align {
 
+/// Element precision a kernel computes in. Saturating precisions (i8, i16)
+/// clamp at their ceiling and detect the clamp per sweep; i32 is effectively
+/// unbounded for realistic inputs. Adaptive engines start every group at i8
+/// and escalate to i16 when the saturation guard fires.
+enum class Precision { kI8, kI16, kI32, kAdaptive };
+
+/// Adaptive-precision and query-profile activity since engine construction
+/// (all zero for engines without SIMD profiles). Escalated groups are swept
+/// twice on their first alignment (once per precision), so
+/// i8_sweeps + i16_sweeps >= alignments_performed() with equality only when
+/// nothing escalated.
+struct PrecisionStats {
+  std::uint64_t i8_sweeps = 0;        ///< group sweeps run in u8 lanes
+  std::uint64_t i16_sweeps = 0;       ///< group sweeps run in i16 lanes
+  std::uint64_t escalations = 0;      ///< i8 sweeps re-run at i16 (sticky)
+  std::uint64_t profile_hits = 0;     ///< sweeps served by a cached profile
+  std::uint64_t profile_builds = 0;   ///< query profiles (re)built
+};
+
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -58,6 +77,12 @@ class Engine {
   /// computed); cells_computed() already excludes them.
   [[nodiscard]] std::uint64_t cells_skipped() const { return cells_skipped_; }
 
+  /// Adaptive-precision / query-profile counters (zeros for engines without
+  /// SIMD profiles). Escalated groups are swept at both precisions, so the
+  /// per-group cell accounting above slightly undercounts their first
+  /// alignment; these counters make that visible.
+  [[nodiscard]] virtual PrecisionStats precision_stats() const { return {}; }
+
   void reset_counters() {
     cells_ = 0;
     aligns_ = 0;
@@ -88,7 +113,12 @@ enum class EngineKind {
   kSimd8Generic,   ///< 8 scalar lanes, no intrinsics (portable reference)
   kSimd4x32,       ///< 4 x i32 lanes (SSE4.1) — no saturation limit
   kSimd8x32,       ///< 8 x i32 lanes (AVX2) — no saturation limit
-  kSimd4x32Generic ///< 4 scalar i32 lanes (portable reference)
+  kSimd4x32Generic,///< 4 scalar i32 lanes (portable reference)
+  kSimd16x8,       ///< 16 x u8 lanes (SSE2, biased saturating arithmetic)
+  kSimd32x8,       ///< 32 x u8 lanes (AVX2, biased saturating arithmetic)
+  kSimd8x8Generic, ///< 8 scalar u8 lanes (portable reference)
+  kSimdAuto,       ///< adaptive u8 -> i16 on the widest ISA available
+  kSimdAutoGeneric ///< adaptive u8 -> i16, portable lanes (cross-check)
 };
 
 /// Creates an engine; throws when the requested SIMD width is not supported
@@ -116,11 +146,27 @@ bool sse41_available();
 /// INT16_MAX; the kernel throws only when saturation actually occurs).
 bool engine_uses_i16(EngineKind kind);
 
-/// Upfront guard for explicit i16 engine selection: throws with an
-/// actionable message (naming the 32-bit engine alternatives) when a
-/// sequence of length m under `scoring` could theoretically exceed the i16
-/// ceiling — all-match score of the largest rectangle, min(r, m-r) pairs at
-/// matrix.max_score() each. No-op for non-i16 engines.
-void check_i16_headroom(EngineKind kind, int m, const seq::Scoring& scoring);
+/// Element precision `kind` computes in: kI8/kI16 for the fixed saturating
+/// engines, kI32 for scalar/striped/general-gap/i32-SIMD kinds, kAdaptive
+/// for the auto engines (which escalate per group at runtime).
+Precision engine_precision(EngineKind kind);
+
+/// True when a sequence of length m under `scoring` provably cannot reach
+/// `precision`'s saturation certification limit: the all-match score of the
+/// largest rectangle — min(r, m-r) pairs at matrix.max_score(), maximized at
+/// r = m/2 — stays at or below the limit. The i16 limit is 32766 (a peak of
+/// exactly 32767 is indistinguishable from a clamped add, so the kernels
+/// treat it as saturated); the u8 limit is 255 - bias - max_score, with
+/// bias = max(0, -matrix.min_score()) — the headroom one biased profile add
+/// needs. u8 additionally requires the biased profile entries and both gap
+/// penalties to fit in a byte. kI32/kAdaptive always fit.
+bool precision_fits(Precision precision, int m, const seq::Scoring& scoring);
+
+/// Upfront guard for explicit fixed-precision engine selection: throws with
+/// an actionable message (naming the adaptive and 32-bit alternatives) when
+/// precision_fits(engine_precision(kind), m, scoring) is false. No-op for
+/// i32 and adaptive kinds, whose kernels cannot (respectively, handle their
+/// own) saturation.
+void check_headroom(EngineKind kind, int m, const seq::Scoring& scoring);
 
 }  // namespace repro::align

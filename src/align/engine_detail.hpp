@@ -43,12 +43,18 @@ std::unique_ptr<Engine> make_general_gap_engine();
 std::unique_ptr<Engine> make_simd_engine(int lanes, int stripe_cols);
 std::unique_ptr<Engine> make_simd_generic_engine(int lanes, int stripe_cols);
 std::unique_ptr<Engine> make_simd32_generic_engine(int lanes, int stripe_cols);
+std::unique_ptr<Engine> make_simd_u8_generic_engine(int stripe_cols);
+std::unique_ptr<Engine> make_adaptive_generic_engine(int stripe_cols);
 #if REPRO_HAVE_SSE2
 std::unique_ptr<Engine> make_simd_sse41_engine(int stripe_cols);
+std::unique_ptr<Engine> make_simd_u8_engine(int stripe_cols);
+std::unique_ptr<Engine> make_adaptive_sse2_engine(int stripe_cols);
 #endif
 #if REPRO_ENABLE_AVX2
 std::unique_ptr<Engine> make_simd_avx2_engine(int stripe_cols);
 std::unique_ptr<Engine> make_simd_avx2_32_engine(int stripe_cols);
+std::unique_ptr<Engine> make_simd_avx2_u8_engine(int stripe_cols);
+std::unique_ptr<Engine> make_adaptive_avx2_engine(int stripe_cols);
 #endif
 
 }  // namespace repro::align::detail

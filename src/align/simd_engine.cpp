@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "align/engine_detail.hpp"
+#include "align/simd_engine_impl.hpp"
 #include "align/simd_kernel.hpp"
 #include "obs/metrics.hpp"
 
@@ -22,12 +23,6 @@
 namespace repro::align {
 namespace detail {
 namespace {
-
-// Stripe default: row state is H + MaxY, and the paper dedicates a third of
-// L1D (32 KiB typical) to the row section.
-int default_stripe(int lanes, int elem_bytes) {
-  return 32768 / 3 / (2 * elem_bytes * lanes);
-}
 
 #if REPRO_HAVE_SSE2
 
@@ -71,33 +66,30 @@ struct SseOps4 {
   static Vec and_(Vec a, Vec b) { return _mm_and_si128(a, b); }
 };
 
-#endif  // REPRO_HAVE_SSE2
-
-template <class Ops>
-class SimdEngineT final : public Engine {
- public:
-  SimdEngineT(std::string name, int stripe_cols)
-      : name_(std::move(name)),
-        stripe_(stripe_cols == 0
-                    ? default_stripe(Ops::kLanes, sizeof(typename Ops::Elem))
-                    : stripe_cols) {}
-
-  [[nodiscard]] std::string name() const override { return name_; }
-  [[nodiscard]] int lanes() const override { return Ops::kLanes; }
-  [[nodiscard]] bool supports_checkpoints() const override { return true; }
-
- protected:
-  void do_align(const GroupJob& job,
-                std::span<const std::span<Score>> out) override {
-    validate_job(job, out, lanes());
-    run_simd_group<Ops>(job, out, stripe_, scratch_);
+/// Sixteen unsigned u8 lanes in one XMM register (biased saturating
+/// arithmetic; see simd_kernel.hpp for the bias/losslessness discussion).
+struct SseOps16x8 {
+  static constexpr int kLanes = 16;
+  using Elem = std::uint8_t;
+  static constexpr bool kSaturating = true;
+  using Vec = __m128i;
+  static Vec zero() { return _mm_setzero_si128(); }
+  static Vec set1(std::uint8_t x) {
+    return _mm_set1_epi8(static_cast<char>(x));
   }
-
- private:
-  std::string name_;
-  int stripe_;
-  SimdScratchT<typename Ops::Elem> scratch_;
+  static Vec load(const std::uint8_t* p) {
+    return _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(std::uint8_t* p, Vec a) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), a);
+  }
+  static Vec max(Vec a, Vec b) { return _mm_max_epu8(a, b); }
+  static Vec adds(Vec a, Vec b) { return _mm_adds_epu8(a, b); }
+  static Vec subs(Vec a, Vec b) { return _mm_subs_epu8(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm_and_si128(a, b); }
 };
+
+#endif  // REPRO_HAVE_SSE2
 
 }  // namespace
 
@@ -134,6 +126,28 @@ std::unique_ptr<Engine> make_simd32_generic_engine(int lanes, int stripe_cols) {
   REPRO_CHECK_MSG(false, "unsupported generic i32 lane count " << lanes);
   return nullptr;  // unreachable
 }
+
+std::unique_ptr<Engine> make_simd_u8_generic_engine(int stripe_cols) {
+  return std::make_unique<SimdEngineT<GenericOps8<8>>>("simd8x8-generic",
+                                                       stripe_cols);
+}
+
+std::unique_ptr<Engine> make_adaptive_generic_engine(int stripe_cols) {
+  return std::make_unique<AdaptiveEngineT<GenericOps8<8>, GenericOps<8>>>(
+      "auto-generic", stripe_cols);
+}
+
+#if REPRO_HAVE_SSE2
+std::unique_ptr<Engine> make_simd_u8_engine(int stripe_cols) {
+  return std::make_unique<SimdEngineT<SseOps16x8>>("simd16x8-sse2",
+                                                   stripe_cols);
+}
+
+std::unique_ptr<Engine> make_adaptive_sse2_engine(int stripe_cols) {
+  return std::make_unique<AdaptiveEngineT<SseOps16x8, DoublePumpOps<SseOps8>>>(
+      "auto-sse2", stripe_cols);
+}
+#endif  // REPRO_HAVE_SSE2
 
 }  // namespace detail
 
@@ -239,6 +253,34 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, int stripe_cols) {
 #endif
     case EngineKind::kSimd4x32Generic:
       return detail::make_simd32_generic_engine(4, stripe_cols);
+    case EngineKind::kSimd16x8:
+#if REPRO_HAVE_SSE2
+      return detail::make_simd_u8_engine(stripe_cols);
+#else
+      REPRO_CHECK_MSG(false, "SSE2 not available in this build");
+      return nullptr;
+#endif
+    case EngineKind::kSimd32x8:
+#if REPRO_ENABLE_AVX2
+      REPRO_CHECK_MSG(avx2_available(), "AVX2 not supported by this CPU");
+      return detail::make_simd_avx2_u8_engine(stripe_cols);
+#else
+      REPRO_CHECK_MSG(false, "AVX2 engine not built");
+      return nullptr;
+#endif
+    case EngineKind::kSimd8x8Generic:
+      return detail::make_simd_u8_generic_engine(stripe_cols);
+    case EngineKind::kSimdAuto:
+#if REPRO_ENABLE_AVX2
+      if (avx2_available()) return detail::make_adaptive_avx2_engine(stripe_cols);
+#endif
+#if REPRO_HAVE_SSE2
+      return detail::make_adaptive_sse2_engine(stripe_cols);
+#else
+      return detail::make_adaptive_generic_engine(stripe_cols);
+#endif
+    case EngineKind::kSimdAutoGeneric:
+      return detail::make_adaptive_generic_engine(stripe_cols);
   }
   REPRO_CHECK_MSG(false, "unknown engine kind");
   return nullptr;  // unreachable
@@ -257,19 +299,63 @@ bool engine_uses_i16(EngineKind kind) {
   }
 }
 
-void check_i16_headroom(EngineKind kind, int m, const seq::Scoring& scoring) {
-  if (!engine_uses_i16(kind)) return;
+Precision engine_precision(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSimd4:
+    case EngineKind::kSimd8:
+    case EngineKind::kSimd16:
+    case EngineKind::kSimd4Generic:
+    case EngineKind::kSimd8Generic:
+      return Precision::kI16;
+    case EngineKind::kSimd16x8:
+    case EngineKind::kSimd32x8:
+    case EngineKind::kSimd8x8Generic:
+      return Precision::kI8;
+    case EngineKind::kSimdAuto:
+    case EngineKind::kSimdAutoGeneric:
+      return Precision::kAdaptive;
+    default:
+      return Precision::kI32;
+  }
+}
+
+bool precision_fits(Precision precision, int m, const seq::Scoring& scoring) {
+  if (precision == Precision::kI32 || precision == Precision::kAdaptive)
+    return true;
   // Largest rectangle: min(r, m-r) residue pairs, maximized at r = m/2;
   // gaps only subtract, so this bounds every reachable score.
   const std::int64_t bound =
       static_cast<std::int64_t>(m / 2) * scoring.matrix.max_score();
+  if (precision == Precision::kI16) {
+    // 32766, not 32767: a peak of exactly INT16_MAX is indistinguishable
+    // from a clamped add, so the kernels report it as saturated.
+    return bound <= std::numeric_limits<std::int16_t>::max() - 1;
+  }
+  // kI8: the biased profile entries and the (cast) gap penalties must fit a
+  // byte, and the score bound must leave one biased add of headroom below
+  // the u8 ceiling (the kernel's certification limit).
+  const int bias = std::max(0, -scoring.matrix.min_score());
+  const int max_entry = scoring.matrix.max_score();
+  if (bias + max_entry > 255 || scoring.gap.open > 255 ||
+      scoring.gap.extend > 255)
+    return false;
+  return bound <= 255 - bias - max_entry;
+}
+
+void check_headroom(EngineKind kind, int m, const seq::Scoring& scoring) {
+  const Precision p = engine_precision(kind);
+  if (p == Precision::kI32 || p == Precision::kAdaptive) return;
+  if (precision_fits(p, m, scoring)) return;
+  const std::int64_t bound =
+      static_cast<std::int64_t>(m / 2) * scoring.matrix.max_score();
   REPRO_CHECK_MSG(
-      bound <= std::numeric_limits<std::int16_t>::max(),
-      "sequence of length "
-          << m << " can reach score " << bound
-          << ", beyond the i16 SIMD ceiling of 32767 — use a 32-bit engine "
-             "(simd4x32, simd8x32, or scalar) instead of the selected i16 "
-             "engine");
+      false, "sequence of length "
+                 << m << " can reach score " << bound
+                 << ", beyond the selected "
+                 << (p == Precision::kI8 ? "u8" : "i16")
+                 << " engine's saturation headroom — use the adaptive "
+                    "engine (auto) or a wider one (simd4x32, simd8x32, or "
+                    "scalar)");
 }
 
 EngineFactory engine_factory(EngineKind kind, int stripe_cols) {
@@ -277,12 +363,9 @@ EngineFactory engine_factory(EngineKind kind, int stripe_cols) {
 }
 
 std::unique_ptr<Engine> make_best_engine() {
-  if (avx2_available()) return make_engine(EngineKind::kSimd16);
-#if REPRO_HAVE_SSE2
-  return make_engine(EngineKind::kSimd8);
-#else
-  return make_engine(EngineKind::kSimd8Generic);
-#endif
+  // The adaptive engine picks the widest ISA itself and runs u8 lanes with
+  // lossless i16 escalation, so it dominates every fixed-precision choice.
+  return make_engine(EngineKind::kSimdAuto);
 }
 
 }  // namespace repro::align

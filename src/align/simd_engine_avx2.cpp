@@ -1,9 +1,13 @@
-// AVX2 16-lane engine, compiled with -mavx2 in its own translation unit.
-// Dispatch happens in make_engine() behind a runtime CPU check.
+// AVX2 engines, compiled with -mavx2 in their own translation unit.
+// Dispatch happens in make_engine() behind a runtime CPU check. Four
+// engines live here: 16 x i16, 8 x i32, 32 x u8 (biased saturating), and
+// the adaptive driver pairing the 32 x u8 kernel with a double-pumped
+// 32-lane i16 escalation path (two YMM registers per vector).
 #include <immintrin.h>
 
 #include "align/engine.hpp"
 #include "align/engine_detail.hpp"
+#include "align/simd_engine_impl.hpp"
 #include "align/simd_kernel.hpp"
 
 namespace repro::align::detail {
@@ -28,27 +32,6 @@ struct Avx2Ops16 {
   static Vec and_(Vec a, Vec b) { return _mm256_and_si256(a, b); }
 };
 
-class Avx2Engine final : public Engine {
- public:
-  explicit Avx2Engine(int stripe_cols)
-      : stripe_(stripe_cols == 0 ? 32768 / 3 / (4 * 16) : stripe_cols) {}
-
-  [[nodiscard]] std::string name() const override { return "simd16-avx2"; }
-  [[nodiscard]] int lanes() const override { return 16; }
-  [[nodiscard]] bool supports_checkpoints() const override { return true; }
-
- protected:
-  void do_align(const GroupJob& job,
-                std::span<const std::span<Score>> out) override {
-    validate_job(job, out, lanes());
-    run_simd_group<Avx2Ops16>(job, out, stripe_, scratch_);
-  }
-
- private:
-  int stripe_;
-  SimdScratch scratch_;
-};
-
 struct Avx2Ops8x32 {
   static constexpr int kLanes = 8;
   using Elem = Score;
@@ -68,36 +51,49 @@ struct Avx2Ops8x32 {
   static Vec and_(Vec a, Vec b) { return _mm256_and_si256(a, b); }
 };
 
-/// 8 x i32 lanes: half the width of the i16 engine but no saturation limit.
-class Avx2Engine32 final : public Engine {
- public:
-  explicit Avx2Engine32(int stripe_cols)
-      : stripe_(stripe_cols == 0 ? 32768 / 3 / (8 * 8) : stripe_cols) {}
-
-  [[nodiscard]] std::string name() const override { return "simd8x32-avx2"; }
-  [[nodiscard]] int lanes() const override { return 8; }
-  [[nodiscard]] bool supports_checkpoints() const override { return true; }
-
- protected:
-  void do_align(const GroupJob& job,
-                std::span<const std::span<Score>> out) override {
-    validate_job(job, out, lanes());
-    run_simd_group<Avx2Ops8x32>(job, out, stripe_, scratch_);
+/// Thirty-two unsigned u8 lanes in one YMM register (biased saturating
+/// arithmetic; see simd_kernel.hpp for the bias/losslessness discussion).
+struct Avx2Ops32x8 {
+  static constexpr int kLanes = 32;
+  using Elem = std::uint8_t;
+  static constexpr bool kSaturating = true;
+  using Vec = __m256i;
+  static Vec zero() { return _mm256_setzero_si256(); }
+  static Vec set1(std::uint8_t x) {
+    return _mm256_set1_epi8(static_cast<char>(x));
   }
-
- private:
-  int stripe_;
-  SimdScratchT<Score> scratch_;
+  static Vec load(const std::uint8_t* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint8_t* p, Vec a) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), a);
+  }
+  static Vec max(Vec a, Vec b) { return _mm256_max_epu8(a, b); }
+  static Vec adds(Vec a, Vec b) { return _mm256_adds_epu8(a, b); }
+  static Vec subs(Vec a, Vec b) { return _mm256_subs_epu8(a, b); }
+  static Vec and_(Vec a, Vec b) { return _mm256_and_si256(a, b); }
 };
 
 }  // namespace
 
 std::unique_ptr<Engine> make_simd_avx2_engine(int stripe_cols) {
-  return std::make_unique<Avx2Engine>(stripe_cols);
+  return std::make_unique<SimdEngineT<Avx2Ops16>>("simd16-avx2", stripe_cols);
 }
 
 std::unique_ptr<Engine> make_simd_avx2_32_engine(int stripe_cols) {
-  return std::make_unique<Avx2Engine32>(stripe_cols);
+  return std::make_unique<SimdEngineT<Avx2Ops8x32>>("simd8x32-avx2",
+                                                    stripe_cols);
+}
+
+std::unique_ptr<Engine> make_simd_avx2_u8_engine(int stripe_cols) {
+  return std::make_unique<SimdEngineT<Avx2Ops32x8>>("simd32x8-avx2",
+                                                    stripe_cols);
+}
+
+std::unique_ptr<Engine> make_adaptive_avx2_engine(int stripe_cols) {
+  return std::make_unique<
+      AdaptiveEngineT<Avx2Ops32x8, DoublePumpOps<Avx2Ops16>>>("auto-avx2",
+                                                              stripe_cols);
 }
 
 }  // namespace repro::align::detail

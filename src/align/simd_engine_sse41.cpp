@@ -7,6 +7,7 @@
 
 #include "align/engine.hpp"
 #include "align/engine_detail.hpp"
+#include "align/simd_engine_impl.hpp"
 #include "align/simd_kernel.hpp"
 
 namespace repro::align::detail {
@@ -31,32 +32,11 @@ struct Sse41Ops4x32 {
   static Vec and_(Vec a, Vec b) { return _mm_and_si128(a, b); }
 };
 
-class Sse41Engine final : public Engine {
- public:
-  explicit Sse41Engine(int stripe_cols)
-      // 32-bit row state: 8 bytes per lane-column for H + MaxY.
-      : stripe_(stripe_cols == 0 ? 32768 / 3 / (8 * 4) : stripe_cols) {}
-
-  [[nodiscard]] std::string name() const override { return "simd4x32-sse41"; }
-  [[nodiscard]] int lanes() const override { return 4; }
-  [[nodiscard]] bool supports_checkpoints() const override { return true; }
-
- protected:
-  void do_align(const GroupJob& job,
-                std::span<const std::span<Score>> out) override {
-    validate_job(job, out, lanes());
-    run_simd_group<Sse41Ops4x32>(job, out, stripe_, scratch_);
-  }
-
- private:
-  int stripe_;
-  SimdScratchT<Score> scratch_;
-};
-
 }  // namespace
 
 std::unique_ptr<Engine> make_simd_sse41_engine(int stripe_cols) {
-  return std::make_unique<Sse41Engine>(stripe_cols);
+  return std::make_unique<SimdEngineT<Sse41Ops4x32>>("simd4x32-sse41",
+                                                     stripe_cols);
 }
 
 }  // namespace repro::align::detail

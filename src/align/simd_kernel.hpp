@@ -1,7 +1,10 @@
 // Coarse-grained SIMD alignment kernel (paper §4.1, Figs. 6 & 7).
 //
 // One sweep computes `count` *neighbouring* rectangles — splits r0, r0+1,
-// ..., r0+count-1 — in up to L lanes of saturating i16 arithmetic:
+// ..., r0+count-1 — in up to L lanes. The element type is a template
+// parameter of the Ops policy: saturating i16 (the paper's width),
+// saturating unsigned-biased u8 (double the lanes per register), or plain
+// i32 (no saturation limit):
 //
 //   * Columns are indexed by global suffix position j in [r0, m); lane k
 //     (split rk = r0+k) is valid for j >= rk, i.e. column c = j - r0 >= k.
@@ -26,8 +29,24 @@
 //     row state fits in L1; per-row (H, MaxX) carries flow across stripe
 //     boundaries.
 //   * Saturation safety: a running per-lane peak (masked so garbage
-//     lane-cells cannot contribute) detects any cell that hit the i16
-//     ceiling, even when the damage is not visible in the bottom row.
+//     lane-cells cannot contribute) certifies the sweep. A sweep is clean
+//     when the peak stays at or below the element type's certification
+//     limit — the largest value from which one more profile add provably
+//     cannot saturate (i16: 32766; u8: 255 - bias - max_score). Peaks above
+//     the limit are reported conservatively as saturated: the caller either
+//     re-runs the group at a wider precision (adaptive engines) or throws.
+//   * Unsigned u8 lanes (Farrar/SSW-style): profile entries carry
+//     bias = max(0, -min_score()), the H update is
+//     subs(adds(inner, e_biased), bias) = max(0, inner + score), and gap
+//     maxima clamp at 0 instead of running to -inf. This is lossless:
+//     inner = max(mx, my, diag) with diag >= 0 (a previous H or the zero
+//     boundary), and each clamped gap chain X satisfies
+//     X_true <= X_clamped <= max(X_true, 0) inductively (the update
+//     X' = max(gap_start, X) - e preserves it, and gap_start >= its true
+//     value by the same invariant on diag-fed starts) — so whenever a
+//     clamped term wins the inner max it equals a value >= 0 that the true
+//     recurrence also produces, and H trajectories are identical as long as
+//     no adds saturates, which the peak certification guarantees.
 //
 // The kernel is templated over an Ops policy (SSE2, AVX2, or a portable
 // scalar-lane fallback) providing saturating adds/subs, max, and masking.
@@ -37,10 +56,12 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "align/engine_detail.hpp"
 #include "align/override_triangle.hpp"
+#include "align/query_profile.hpp"
 #include "align/types.hpp"
 #include "check/contracts.hpp"
 #include "util/aligned.hpp"
@@ -156,10 +177,76 @@ struct GenericOps32 {
   }
 };
 
+/// Portable unsigned u8 lane ops: saturating-unsigned arithmetic over biased
+/// profile entries (see the header comment). Twice the lanes of GenericOps
+/// in the same register width; adds clamps at 255, subs clamps at 0.
+template <int W>
+struct GenericOps8 {
+  static constexpr int kLanes = W;
+  using Elem = std::uint8_t;
+  static constexpr bool kSaturating = true;
+  struct Vec {
+    std::uint8_t v[W];
+  };
+
+  static Vec zero() {
+    Vec r{};
+    return r;
+  }
+  static Vec set1(std::uint8_t x) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = x;
+    return r;
+  }
+  static Vec load(const std::uint8_t* p) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = p[k];
+    return r;
+  }
+  static void store(std::uint8_t* p, Vec a) {
+    for (int k = 0; k < W; ++k) p[k] = a.v[k];
+  }
+  static Vec max(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) r.v[k] = a.v[k] > b.v[k] ? a.v[k] : b.v[k];
+    return r;
+  }
+  static Vec adds(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) {
+      const int s = int{a.v[k]} + int{b.v[k]};
+      r.v[k] = static_cast<std::uint8_t>(s > 255 ? 255 : s);
+    }
+    return r;
+  }
+  static Vec subs(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k) {
+      const int s = int{a.v[k]} - int{b.v[k]};
+      r.v[k] = static_cast<std::uint8_t>(s < 0 ? 0 : s);
+    }
+    return r;
+  }
+  static Vec and_(Vec a, Vec b) {
+    Vec r;
+    for (int k = 0; k < W; ++k)
+      r.v[k] = static_cast<std::uint8_t>(a.v[k] & b.v[k]);
+    return r;
+  }
+};
+
 /// Scratch buffers reused across group alignments (one instance per engine;
 /// engines are single-threaded by contract).
 template <typename Elem>
 struct SimdScratchT {
+  static_assert(std::is_integral_v<Elem> &&
+                    (sizeof(Elem) == 1 || sizeof(Elem) == 2 ||
+                     sizeof(Elem) == 4),
+                "SIMD scratch elements are u8, i16, or i32");
+  // The AVX2 kernels (16 x i16 and 32 x u8) issue 32-byte aligned loads on
+  // these rows; AlignedAllocator's cache-line alignment must cover that.
+  static_assert(util::kCacheLine % 32 == 0,
+                "scratch rows must satisfy 32-byte AVX2 vector loads");
   std::vector<Elem, util::AlignedAllocator<Elem>> h;
   std::vector<Elem, util::AlignedAllocator<Elem>> max_y;
   std::vector<Elem, util::AlignedAllocator<Elem>> carry_h;
@@ -179,21 +266,36 @@ inline void grow_to(V& v, std::size_t n) {
 using SimdScratch = SimdScratchT<std::int16_t>;
 
 /// "Minus infinity" for the element type (i16 lanes rely on saturation).
+/// Unsigned lanes have no negatives: their gap maxima clamp at 0, which the
+/// header comment's invariant shows is lossless.
 template <typename Elem>
 constexpr Elem neg_inf_of() {
-  if constexpr (sizeof(Elem) == 2) {
+  if constexpr (!std::is_signed_v<Elem>) {
+    return 0;
+  } else if constexpr (sizeof(Elem) == 2) {
     return kNegInf16;
   } else {
     return kNegInf;
   }
 }
 
+/// Sweeps one group. `profile` (optional for signed elements, REQUIRED for
+/// unsigned ones, which need the folded bias) replaces the per-cell exchange
+/// matrix lookup with one indexed profile load. `saturated` selects the
+/// saturation protocol: when null a saturating sweep throws (explicit
+/// fixed-precision engines); when non-null it is set to whether the sweep
+/// saturated — on saturation the sink is emptied (its rows were computed
+/// from possibly-clamped state and are uncertified) and the outputs are
+/// garbage the caller must discard by re-running at wider precision.
 template <class Ops>
 void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
-                    int stripe_cols, SimdScratchT<typename Ops::Elem>& scratch) {
+                    int stripe_cols, SimdScratchT<typename Ops::Elem>& scratch,
+                    const QueryProfileT<typename Ops::Elem>* profile = nullptr,
+                    bool* saturated = nullptr) {
   constexpr int L = Ops::kLanes;
   using Vec = typename Ops::Vec;
   using Elem = typename Ops::Elem;
+  constexpr bool kUnsigned = !std::is_signed_v<Elem>;
 
   const auto& seq = job.seq;
   const int m = static_cast<int>(seq.size());
@@ -202,10 +304,20 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
   const int width = m - r0;          // columns of the widest lane (lane 0)
   const int rows = r0 + count - 1;   // rows of the deepest lane
   const seq::ScoreMatrix& ex = job.scoring->matrix;
+  if constexpr (kUnsigned) {
+    static_assert(Ops::kSaturating, "unsigned lanes must saturate");
+    REPRO_CHECK_MSG(profile != nullptr && profile->feasible(),
+                    "unsigned u8 kernels require a feasible biased query "
+                    "profile (group r0=" << r0 << ")");
+  }
+  const bool use_profile = profile != nullptr;
+  REPRO_CHECK(!use_profile || profile->width() == m);
   const Vec v_open = Ops::set1(static_cast<Elem>(job.scoring->gap.open));
   const Vec v_ext = Ops::set1(static_cast<Elem>(job.scoring->gap.extend));
   const Vec v_zero = Ops::zero();
   const Vec v_neg = Ops::set1(neg_inf_of<Elem>());
+  [[maybe_unused]] const Vec v_bias =
+      Ops::set1(static_cast<Elem>(use_profile ? profile->bias() : 0));
 
   // Mask tables, kept as aligned i16 so vectors of over-aligned register
   // types never land in (insufficiently aligned) std::vector storage.
@@ -247,9 +359,10 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
     std::memcpy(h.data(), ck.h, state_bytes);
     std::memcpy(max_y.data(), ck.max_y, state_bytes);
     y_begin = ck.row + 1;
-    if constexpr (check::kContractsEnabled) {
+    if constexpr (check::kContractsEnabled && !kUnsigned) {
       // Checkpoint rows are emitted at y <= r0-1, above every lane's bottom
       // row, so every restored lane-cell is a genuine (clamped) local score.
+      // (Unsigned elements satisfy this by type.)
       for (std::size_t e = 0; e < state_elems; ++e)
         REPRO_DCHECK_MSG(h[e] >= 0, "restored checkpoint H negative at elem "
                                         << e << " (group r0=" << r0 << ")");
@@ -258,6 +371,9 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
     h.assign(state_elems, 0);
     max_y.assign(state_elems, neg_inf_of<Elem>());
   }
+  REPRO_DCHECK_MSG(util::is_vector_aligned(h.data()) &&
+                       util::is_vector_aligned(max_y.data()),
+                   "SIMD scratch rows must be 32-byte aligned");
   const bool resumed = y_begin > 1;
 
   const int stripe = stripe_cols <= 0 ? width : stripe_cols;
@@ -312,7 +428,12 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
     int emit_idx = 0;
     for (int y = y_begin; y <= rows; ++y) {
       const int i = y - 1;
-      const std::int16_t* erow = ex.row(seq[static_cast<std::size_t>(i)]);
+      // One row pointer per DP row: the profile's pre-biased Elem row when a
+      // profile is cached, else the raw exchange-matrix row.
+      const Elem* prow =
+          use_profile ? profile->row(seq[static_cast<std::size_t>(i)]) : nullptr;
+      const std::int16_t* erow =
+          use_profile ? nullptr : ex.row(seq[static_cast<std::size_t>(i)]);
       const std::atomic<std::uint64_t>* obits =
           (job.overrides != nullptr && !job.overrides->row_empty(i))
               ? job.overrides->row_bits(i)
@@ -332,8 +453,20 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
         const Vec v_up = Ops::load(hp);
         const Vec v_my = Ops::load(myp);
         const Vec v_inner = Ops::max(v_mx, Ops::max(v_my, v_diag));
-        const Vec v_e = Ops::set1(erow[seq[static_cast<std::size_t>(j)]]);
-        Vec v_h = Ops::max(v_zero, Ops::adds(v_e, v_inner));
+        const Vec v_e =
+            use_profile
+                ? Ops::set1(prow[static_cast<std::size_t>(j)])
+                : Ops::set1(static_cast<Elem>(
+                      erow[seq[static_cast<std::size_t>(j)]]));
+        Vec v_h;
+        if constexpr (kUnsigned) {
+          // inner >= 0 and the profile entry carries the bias, so
+          // subs(adds(inner, e+bias), bias) = max(0, inner + score) exactly
+          // whenever adds does not saturate (certified by the peak below).
+          v_h = Ops::subs(Ops::adds(v_inner, v_e), v_bias);
+        } else {
+          v_h = Ops::max(v_zero, Ops::adds(v_e, v_inner));
+        }
         // Deep rows contain lane-cells with i >= j; the strict upper
         // triangle has no bit for those, so the test is guarded.
         if (obits != nullptr && j > i && override_bit(obits, i, j))
@@ -380,9 +513,10 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
                     h.data() + static_cast<std::size_t>(c0) * L, len);
         std::memcpy(cr.max_y.data() + off,
                     max_y.data() + static_cast<std::size_t>(c0) * L, len);
-        if constexpr (check::kContractsEnabled) {
+        if constexpr (check::kContractsEnabled && !kUnsigned) {
           // The emitted slice must satisfy the same non-negativity the
-          // resume path asserts before re-entering the sweep.
+          // resume path asserts before re-entering the sweep. (Unsigned
+          // elements satisfy it by type.)
           for (int c = c0; c < c1; ++c)
             for (int k2 = 0; k2 < L; ++k2)
               REPRO_DCHECK_MSG(
@@ -396,13 +530,39 @@ void run_simd_group(const GroupJob& job, std::span<const std::span<Score>> out,
   }
 
   if constexpr (Ops::kSaturating) {
+    // Certification limit: the largest peak from which one more adds input
+    // provably could not have saturated. Every adds operand is an H value
+    // <= peak, so peak <= limit proves no clamp occurred anywhere in the
+    // sweep; peak > limit is treated as saturated (conservatively — the
+    // adaptive driver just re-runs the group at wider precision).
+    //   i16: limit 32766 (a peak of 32767 is indistinguishable from a clamp)
+    //   u8:  limit 255 - bias - max_score (one biased profile add of slack)
+    Elem sat_limit;
+    if constexpr (kUnsigned) {
+      sat_limit = static_cast<Elem>(std::numeric_limits<Elem>::max() -
+                                    profile->bias() - profile->max_score());
+    } else {
+      sat_limit = static_cast<Elem>(std::numeric_limits<Elem>::max() - 1);
+    }
     alignas(64) Elem peakbuf[L];
     Ops::store(peakbuf, v_peak);
-    for (int k = 0; k < count; ++k)
-      REPRO_CHECK_MSG(peakbuf[k] != std::numeric_limits<Elem>::max(),
-                      "i16 SIMD lane saturated (split r=" << r0 + k
-                          << "); use a 32-bit engine for this input");
+    for (int k = 0; k < count; ++k) {
+      if (peakbuf[k] <= sat_limit) continue;
+      if (saturated != nullptr) {
+        *saturated = true;
+        // The staged checkpoint rows were computed from possibly-clamped
+        // state; only certified rows may reach the cache.
+        if (sink != nullptr) sink->count = 0;
+        return;
+      }
+      REPRO_CHECK_MSG(false,
+                      (kUnsigned ? "u8" : "i16")
+                          << " SIMD lane saturated (split r=" << r0 + k
+                          << "); use an adaptive or wider engine for this "
+                             "input");
+    }
   }
+  if (saturated != nullptr) *saturated = false;
 }
 
 }  // namespace repro::align::detail

@@ -76,6 +76,11 @@ struct FinderStats {
   std::uint64_t rows_skipped = 0;     ///< realignment DP rows restored, not swept
   std::uint64_t rows_swept = 0;       ///< realignment DP rows a from-scratch run sweeps
   std::uint64_t skipped_realignments = 0;  ///< low-memory untouched lanes bumped
+  // Adaptive-precision SIMD (zero for engines without precision tracking):
+  std::uint64_t i8_sweeps = 0;             ///< group sweeps run in u8 lanes
+  std::uint64_t i16_sweeps = 0;            ///< group sweeps run in i16 lanes
+  std::uint64_t precision_escalations = 0; ///< u8 sweeps re-run at i16
+  std::uint64_t profile_hits = 0;          ///< sweeps reusing a cached profile
   /// Wall time inside realignment-phase sweeps (version > 0); the parallel
   /// finder sums it across threads like idle_seconds.
   double realign_seconds = 0.0;

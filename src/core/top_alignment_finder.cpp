@@ -46,12 +46,20 @@ class SequentialRun {
     obs::ScopedSpan span(obs::Registry::global(), "finder.run");
     util::WallTimer timer;
     const std::uint64_t cells0 = engine_.cells_computed();
+    const align::PrecisionStats prec0 = engine_.precision_stats();
     if (options_.policy == RescanPolicy::kBestFirst) {
       run_best_first();
     } else {
       run_exhaustive();
     }
     result_.stats.cells = engine_.cells_computed() - cells0;
+    // Engines may be reused across runs (their query profile persists by
+    // design); report this run's precision activity as a delta.
+    const align::PrecisionStats prec = engine_.precision_stats();
+    result_.stats.i8_sweeps = prec.i8_sweeps - prec0.i8_sweeps;
+    result_.stats.i16_sweeps = prec.i16_sweeps - prec0.i16_sweeps;
+    result_.stats.precision_escalations = prec.escalations - prec0.escalations;
+    result_.stats.profile_hits = prec.profile_hits - prec0.profile_hits;
     result_.stats.seconds = timer.seconds();
     if (cache_) {
       const align::CheckpointCacheStats& cs = cache_->stats();
@@ -508,6 +516,10 @@ void publish_finder_stats(const FinderStats& stats, int m,
   reg.counter(key("ckpt_rows_skipped")).add(stats.rows_skipped);
   reg.counter(key("ckpt_rows_swept")).add(stats.rows_swept);
   reg.counter(key("skipped_realignments")).add(stats.skipped_realignments);
+  reg.counter(key("i8_sweeps")).add(stats.i8_sweeps);
+  reg.counter(key("i16_sweeps")).add(stats.i16_sweeps);
+  reg.counter(key("precision_escalations")).add(stats.precision_escalations);
+  reg.counter(key("profile_hits")).add(stats.profile_hits);
   if (stats.realign_seconds > 0.0)
     reg.timer(key("realign_seconds")).add_seconds(stats.realign_seconds);
   if (stats.ckpt_hits + stats.ckpt_misses > 0)

@@ -107,10 +107,15 @@ class SharedRun {
     }
   }
 
-  core::FinderResult finish(double seconds, std::uint64_t cells) {
+  core::FinderResult finish(double seconds, std::uint64_t cells,
+                            const align::PrecisionStats& prec) {
     if (error_) std::rethrow_exception(error_);
     stats_.seconds = seconds;
     stats_.cells = cells;
+    stats_.i8_sweeps = prec.i8_sweeps;
+    stats_.i16_sweeps = prec.i16_sweeps;
+    stats_.precision_escalations = prec.escalations;
+    stats_.profile_hits = prec.profile_hits;
     if constexpr (obs::kEnabled) {
       auto& reg = obs::Registry::global();
       reg.counter("parallel.queue.pushes").add(queue_.pushes());
@@ -410,8 +415,20 @@ core::FinderResult find_top_alignments_parallel(const seq::Sequence& s,
   for (auto& th : threads) th.join();
 
   std::uint64_t cells = 0;
-  for (const auto& e : engines) cells += e->cells_computed();
-  return run.finish(timer.seconds(), cells);
+  align::PrecisionStats prec;
+  for (const auto& e : engines) {
+    cells += e->cells_computed();
+    // Worker engines are fresh from the factory, so their lifetime counters
+    // are exactly this run's; each worker builds its profile once and every
+    // later sweep of its partition is a hit.
+    const align::PrecisionStats p = e->precision_stats();
+    prec.i8_sweeps += p.i8_sweeps;
+    prec.i16_sweeps += p.i16_sweeps;
+    prec.escalations += p.escalations;
+    prec.profile_hits += p.profile_hits;
+    prec.profile_builds += p.profile_builds;
+  }
+  return run.finish(timer.seconds(), cells, prec);
 }
 
 }  // namespace repro::parallel

@@ -202,6 +202,10 @@ int ScoreMatrix::max_score() const {
   return *std::max_element(data_.begin(), data_.end());
 }
 
+int ScoreMatrix::min_score() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
 bool ScoreMatrix::symmetric() const {
   for (int i = 0; i < n_; ++i)
     for (int j = i + 1; j < n_; ++j)

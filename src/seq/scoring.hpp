@@ -60,8 +60,12 @@ class ScoreMatrix {
     return data_.data() + static_cast<std::size_t>(a) * static_cast<std::size_t>(n_);
   }
 
-  /// Largest entry; bounds the per-pair score used in i16 overflow analysis.
+  /// Largest entry; bounds the per-pair score used in overflow analysis.
   [[nodiscard]] int max_score() const;
+
+  /// Smallest entry; the biased u8 kernels add `-min_score()` to every
+  /// profile entry so saturating-unsigned arithmetic never sees a negative.
+  [[nodiscard]] int min_score() const;
 
   [[nodiscard]] bool symmetric() const;
 

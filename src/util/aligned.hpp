@@ -7,12 +7,26 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 
 namespace repro::util {
 
 inline constexpr std::size_t kCacheLine = 64;
+
+// The widest vector any engine loads from allocator-backed storage is a
+// 32-byte AVX2 register (both the 16 x i16 and 32 x u8 kernels); the i8
+// scratch therefore needs 32-byte alignment, not just the 16 bytes the SSE2
+// i16 kernels require. Cache-line alignment covers both with room to spare.
+static_assert(kCacheLine % 32 == 0,
+              "aligned storage must satisfy 32-byte AVX2 vector loads");
+
+/// True when `p` satisfies the alignment of the widest supported vector;
+/// kernels assert this on their scratch rows before issuing aligned loads.
+inline bool is_vector_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 32 == 0;
+}
 
 /// Minimal std::allocator replacement with 64-byte alignment.
 template <typename T>

@@ -164,7 +164,10 @@ std::vector<align::EngineKind> checkpoint_engine_kinds() {
   std::vector<align::EngineKind> kinds{
       align::EngineKind::kScalar, align::EngineKind::kScalarStriped,
       align::EngineKind::kSimd4Generic, align::EngineKind::kSimd8Generic,
-      align::EngineKind::kSimd4x32Generic};
+      align::EngineKind::kSimd4x32Generic,
+      // Adaptive engines run everywhere: on inputs past the u8 headroom they
+      // escalate to i16 and must still honor every checkpoint contract.
+      align::EngineKind::kSimdAutoGeneric, align::EngineKind::kSimdAuto};
 #if REPRO_HAVE_SSE2
   kinds.push_back(align::EngineKind::kSimd4);
   kinds.push_back(align::EngineKind::kSimd8);
@@ -174,6 +177,17 @@ std::vector<align::EngineKind> checkpoint_engine_kinds() {
     kinds.push_back(align::EngineKind::kSimd16);
     kinds.push_back(align::EngineKind::kSimd8x32);
   }
+  return kinds;
+}
+
+// Explicit u8 engines only accept inputs inside their biased saturation
+// headroom, so they get their own in-range DNA workloads below.
+std::vector<align::EngineKind> u8_engine_kinds() {
+  std::vector<align::EngineKind> kinds{align::EngineKind::kSimd8x8Generic};
+#if REPRO_HAVE_SSE2
+  kinds.push_back(align::EngineKind::kSimd16x8);
+#endif
+  if (align::avx2_available()) kinds.push_back(align::EngineKind::kSimd32x8);
   return kinds;
 }
 
@@ -297,6 +311,91 @@ TEST(CheckpointKernel, TriangleGrowthFuzzResumedEqualsScratch) {
           const CheckpointView view = view_of(staged, staged.count - 1);
           const auto resumed = sweep(*engine, s, scoring, &triangle, r0, count,
                                      &view, nullptr);
+          EXPECT_EQ(resumed, scratch)
+              << engine->name() << " seed " << seed << " round " << round
+              << " resumed from row " << view.row;
+        }
+        staged = std::move(fresh);
+      }
+    }
+  }
+}
+
+TEST(CheckpointKernel, U8ResumeFromEveryDepthMatchesScratch) {
+  // Same contract as above for the saturating u8 engines, on a DNA workload
+  // that fits their biased headroom (bound = m <= 252 for paper_example).
+  const auto g = seq::synthetic_dna_tandem(200, 9, 5, 77);
+  const seq::Scoring scoring = seq::Scoring::paper_example();
+  ASSERT_TRUE(align::precision_fits(align::Precision::kI8,
+                                    g.sequence.length(), scoring));
+  for (const auto kind : u8_engine_kinds()) {
+    const auto engine = align::make_engine(kind);
+    const int count = engine->lanes();
+    const int r0 = 110;
+    CheckpointSink sink;
+    sink.stride = 7;
+    sink.top_row = r0 - 1;
+    const auto scratch =
+        sweep(*engine, g.sequence, scoring, nullptr, r0, count, nullptr, &sink);
+    ASSERT_GT(sink.count, 1) << engine->name();
+    EXPECT_EQ(sink.elem_size, 1) << engine->name();
+    for (int t = 0; t < sink.count; ++t) {
+      const CheckpointView view = view_of(sink, t);
+      const auto resumed = sweep(*engine, g.sequence, scoring, nullptr, r0,
+                                 count, &view, nullptr);
+      EXPECT_EQ(resumed, scratch)
+          << engine->name() << " resumed from row " << view.row;
+    }
+  }
+}
+
+TEST(CheckpointKernel, U8TriangleGrowthFuzzResumedEqualsScratch) {
+  // Randomized triangle growth for the u8 engines (DNA only, in-range);
+  // override growth only lowers DP values, so clean u8 sweeps stay clean.
+  const seq::Scoring dna = seq::Scoring::paper_example();
+  for (const auto kind : u8_engine_kinds()) {
+    const auto engine = align::make_engine(kind);
+    for (int seed = 0; seed < 4; ++seed) {
+      util::Rng rng(3100 + static_cast<std::uint64_t>(seed));
+      const int m = 100 + static_cast<int>(rng.below(50));
+      const seq::Sequence s =
+          seq::synthetic_dna_tandem(m, 9, 5,
+                                    600 + static_cast<std::uint64_t>(seed))
+              .sequence;
+      const int count = engine->lanes();
+      const int r0 =
+          2 + static_cast<int>(rng.below(
+                  static_cast<std::uint64_t>(std::max(1, m - count - 3))));
+      align::OverrideTriangle triangle(m);
+
+      CheckpointSink staged;
+      staged.stride = 1 + static_cast<int>(rng.below(9));
+      staged.top_row = r0 - 1;
+      sweep(*engine, s, dna, &triangle, r0, count, nullptr, &staged);
+
+      for (int round = 0; round < 4; ++round) {
+        std::vector<std::pair<int, int>> pairs;
+        const int n = 1 + static_cast<int>(rng.below(3));
+        for (int t = 0; t < n; ++t) {
+          const int j =
+              r0 + static_cast<int>(rng.below(static_cast<std::uint64_t>(m - r0)));
+          const int i = static_cast<int>(rng.below(static_cast<std::uint64_t>(j)));
+          pairs.emplace_back(i, j);
+          triangle.set(i, j);
+        }
+        const PairDirtyIndex dirty{
+            std::span<const std::pair<int, int>>(pairs)};
+        staged.drop_from(dirty.min_dirty_row(r0));
+
+        CheckpointSink fresh;
+        fresh.stride = staged.stride;
+        fresh.top_row = r0 - 1;
+        const auto scratch =
+            sweep(*engine, s, dna, &triangle, r0, count, nullptr, &fresh);
+        if (staged.count > 0) {
+          const CheckpointView view = view_of(staged, staged.count - 1);
+          const auto resumed =
+              sweep(*engine, s, dna, &triangle, r0, count, &view, nullptr);
           EXPECT_EQ(resumed, scratch)
               << engine->name() << " seed " << seed << " round " << round
               << " resumed from row " << view.row;

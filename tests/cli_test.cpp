@@ -175,16 +175,43 @@ TEST(Cli, BadEngineNameFails) {
 TEST(Cli, I16EngineRejectsOverflowingSequenceUpfront) {
   // titin at m=6000 with blosum62 (max score 11) can reach 3000*11 = 33000,
   // past the i16 ceiling — an explicitly selected i16 engine must be
-  // rejected before any alignment runs, with a 32-bit alternative named.
+  // rejected before any alignment runs, with the adaptive and wider
+  // alternatives named.
   const std::string fasta = temp_fasta();
   ASSERT_EQ(run_cli("generate --kind titin --length 6000 --out " + fasta)
                 .status, 0);
   const RunResult r =
       run_cli("find --fasta " + fasta + " --tops 1 --engine simd8");
   EXPECT_NE(r.status, 0);
-  EXPECT_NE(r.out.find("32767"), std::string::npos) << r.out;
-  EXPECT_NE(r.out.find("32-bit"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("saturation headroom"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("adaptive"), std::string::npos) << r.out;
   EXPECT_NE(r.out.find("simd8x32"), std::string::npos) << r.out;
+}
+
+TEST(Cli, U8EngineRejectsOverflowingSequenceUpfront) {
+  // The same guard covers explicit u8 engines, whose (bias-aware) headroom
+  // is far smaller; the adaptive default accepts the identical input.
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind titin --length 300 --out " + fasta)
+                .status, 0);
+  const RunResult r =
+      run_cli("find --fasta " + fasta + " --tops 1 --engine simd16x8");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.out.find("u8"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("saturation headroom"), std::string::npos) << r.out;
+  const RunResult ok =
+      run_cli("find --fasta " + fasta + " --tops 1 --precision auto");
+  EXPECT_EQ(ok.status, 0) << ok.out;
+}
+
+TEST(Cli, PrecisionFlagExcludesExplicitEngine) {
+  const std::string fasta = temp_fasta();
+  ASSERT_EQ(run_cli("generate --kind titin --length 200 --out " + fasta)
+                .status, 0);
+  const RunResult r = run_cli("find --fasta " + fasta +
+                              " --engine scalar --precision i16");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.out.find("--precision"), std::string::npos) << r.out;
 }
 
 TEST(Cli, I16GuardDoesNotBlockSafeRuns) {

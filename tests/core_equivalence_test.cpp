@@ -84,7 +84,9 @@ TEST_P(Equivalence, EveryEngineProducesIdenticalTops) {
                                        align::EngineKind::kGeneralGap,
                                        align::EngineKind::kSimd4Generic,
                                        align::EngineKind::kSimd8Generic,
-                                       align::EngineKind::kSimd4x32Generic};
+                                       align::EngineKind::kSimd4x32Generic,
+                                       align::EngineKind::kSimdAutoGeneric,
+                                       align::EngineKind::kSimdAuto};
 #if REPRO_HAVE_SSE2
   kinds.push_back(align::EngineKind::kSimd4);
   kinds.push_back(align::EngineKind::kSimd8);
@@ -93,6 +95,17 @@ TEST_P(Equivalence, EveryEngineProducesIdenticalTops) {
   if (align::avx2_available()) {
     kinds.push_back(align::EngineKind::kSimd16);
     kinds.push_back(align::EngineKind::kSimd8x32);
+  }
+  // Explicit u8 engines throw on inputs past their biased headroom, so gate
+  // them on precision_fits; adaptive kinds above run everywhere (they
+  // escalate to i16 transparently, which must stay lossless).
+  if (align::precision_fits(align::Precision::kI8, c.sequence.length(),
+                            c.scoring)) {
+    kinds.push_back(align::EngineKind::kSimd8x8Generic);
+#if REPRO_HAVE_SSE2
+    kinds.push_back(align::EngineKind::kSimd16x8);
+#endif
+    if (align::avx2_available()) kinds.push_back(align::EngineKind::kSimd32x8);
   }
 
   for (const auto kind : kinds) {

@@ -35,6 +35,25 @@ trap 'rm -rf "$out_dir"' EXIT
   --benchmark_min_time=0.05 \
   --benchmark_format=json >"$out_dir/kernels.json" 2>/dev/null
 
+# Adaptive-precision ablation (bench_kernels --json carve-out): validated
+# structurally — tops must match the scalar oracle for every combo and the
+# saturating workload must escalate. Rates are reported, never gated (raw
+# cells/s vary per host).
+"$build/bench/bench_kernels" --m 600 --tops 4 \
+  --json "$out_dir/precision.json" >/dev/null
+python3 - "$out_dir/precision.json" <<'PY'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+assert rec.get("schema") == "repro-metrics-v1", "bad precision record"
+m, c = rec["metrics"], rec["counters"]
+assert m.get("same_tops") == 1.0, f"precision same_tops failed: {m}"
+assert c.get("escalations", 0) > 0, "saturating workload never escalated"
+assert m.get("i8_vs_i16_speedup_best", 0) > 0, "missing u8-vs-i16 speedup"
+print(f"ok precision ablation: speedup_best "
+      f"{m['i8_vs_i16_speedup_best']:.2f}x, "
+      f"{c['escalations']} escalations, same_tops 1")
+PY
+
 # Up to three attempts: absolute rates (cells_per_sec) dip under transient
 # machine load, and a real regression fails all three identically.
 attempts=3

@@ -20,11 +20,12 @@ metrics-naming        string literals fed to counter()/timer()/set_gauge()
                       repro-metrics-v1 grammar
                       [a-z][a-z0-9_]*(\\.[a-z][a-z0-9_]*)* — a trailing '.'
                       marks a prefix literal completed at runtime.
-metrics-registry      metric literals under the cluster./vcluster.
-                      namespaces must appear in CLUSTER_METRIC_NAMES: the
-                      grammar accepts any well-formed name, so a typo'd
-                      counter would silently fork a new time series. Add
-                      new names to the registry alongside the code.
+metrics-registry      metric literals under the cluster./vcluster./align.
+                      namespaces must appear in CLUSTER_METRIC_NAMES /
+                      ALIGN_METRIC_NAMES: the grammar accepts any
+                      well-formed name, so a typo'd counter would silently
+                      fork a new time series. Add new names to the registry
+                      alongside the code.
 nolint-reason         every NOLINT must name its check and give a reason:
                       // NOLINT(<check>): <reason>
 shell-hygiene         shell scripts start with a bash shebang and set
@@ -53,6 +54,8 @@ KERNEL_FILES = [
     "src/align/simd_engine.cpp",
     "src/align/simd_engine_sse41.cpp",
     "src/align/simd_engine_avx2.cpp",
+    "src/align/simd_engine_impl.hpp",
+    "src/align/query_profile.hpp",
     "src/align/engine_detail.hpp",
 ]
 
@@ -93,6 +96,20 @@ CLUSTER_METRIC_NAMES = {
     "vcluster.worker_busy_fraction",
     "vcluster.makespan_sec",
 }
+
+# Known-names registry for the align. namespace (kernel + adaptive-precision
+# counters emitted by the engines themselves).
+ALIGN_METRIC_NAMES = {
+    "align.lane_cells",
+    "align.group_alignments",
+    "align.lane_cells_skipped",
+    "align.precision.i8_sweeps",
+    "align.precision.i16_sweeps",
+    "align.precision.escalations",
+    "align.precision.profile_hits",
+    "align.precision.profile_builds",
+}
+REGISTERED_METRIC_NAMES = CLUSTER_METRIC_NAMES | ALIGN_METRIC_NAMES
 METRIC_CALL = re.compile(r"\b(?:counter|timer|set_gauge)\(\s*\"([^\"]*)\"")
 METRIC_KEY_CALL = re.compile(r"\bkey\(\s*\"([^\"]*)\"")
 
@@ -265,14 +282,14 @@ def check_metrics_naming() -> None:
                     fail(path, no, "metrics-naming",
                          f'metric name "{name}" violates repro-metrics-v1 '
                          "([a-z][a-z0-9_]* dot-separated segments)")
-                elif (re.match(r"^v?cluster\.", name)
+                elif (re.match(r"^(v?cluster|align)\.", name)
                       and not name.endswith(".")
-                      and name not in CLUSTER_METRIC_NAMES
+                      and name not in REGISTERED_METRIC_NAMES
                       and not allowed(line, "metrics-registry")):
                     fail(path, no, "metrics-registry",
                          f'metric name "{name}" is not in the '
-                         "CLUSTER_METRIC_NAMES registry (tools/repro_lint.py)"
-                         " — add it there or fix the typo")
+                         "CLUSTER_METRIC_NAMES / ALIGN_METRIC_NAMES registry "
+                         "(tools/repro_lint.py) — add it there or fix the typo")
 
 
 def check_nolint_reasons() -> None:

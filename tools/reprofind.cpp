@@ -38,10 +38,45 @@ align::EngineKind engine_kind_from(const std::string& name) {
   if (name == "simd16") return align::EngineKind::kSimd16;
   if (name == "simd4x32") return align::EngineKind::kSimd4x32;
   if (name == "simd8x32") return align::EngineKind::kSimd8x32;
+  if (name == "simd16x8") return align::EngineKind::kSimd16x8;
+  if (name == "simd32x8") return align::EngineKind::kSimd32x8;
+  if (name == "auto") return align::EngineKind::kSimdAuto;
+  if (name == "auto-generic") return align::EngineKind::kSimdAutoGeneric;
   REPRO_CHECK_MSG(false, "unknown engine '" << name
                                             << "' (scalar|striped|simd4|simd8|"
-                                               "simd16|simd4x32|simd8x32)");
+                                               "simd16|simd4x32|simd8x32|"
+                                               "simd16x8|simd32x8|auto|"
+                                               "auto-generic)");
   return align::EngineKind::kScalar;
+}
+
+/// Widest available engine of the requested element precision.
+align::EngineKind engine_kind_for_precision(const std::string& precision) {
+  if (precision == "auto") return align::EngineKind::kSimdAuto;
+  if (precision == "i8") {
+    if (align::avx2_available()) return align::EngineKind::kSimd32x8;
+#if REPRO_HAVE_SSE2
+    return align::EngineKind::kSimd16x8;
+#else
+    return align::EngineKind::kSimd8x8Generic;
+#endif
+  }
+  if (precision == "i16") {
+    if (align::avx2_available()) return align::EngineKind::kSimd16;
+#if REPRO_HAVE_SSE2
+    return align::EngineKind::kSimd8;
+#else
+    return align::EngineKind::kSimd8Generic;
+#endif
+  }
+  if (precision == "i32") {
+    if (align::avx2_available()) return align::EngineKind::kSimd8x32;
+    if (align::sse41_available()) return align::EngineKind::kSimd4x32;
+    return align::EngineKind::kScalar;
+  }
+  REPRO_CHECK_MSG(false, "unknown precision '" << precision
+                                               << "' (auto|i8|i16|i32)");
+  return align::EngineKind::kSimdAuto;
 }
 
 seq::Scoring scoring_for(const seq::Alphabet& alphabet,
@@ -149,7 +184,13 @@ int cmd_find(int argc, char** argv) {
                    {"gap-extend", "gap extension penalty (default 1)"},
                    {"tops", "top alignments per sequence (default 20)"},
                    {"min-score", "stop below this score (default 1)"},
-                   {"engine", "scalar|striped|simd4|simd8|simd16|simd4x32|simd8x32|best"},
+                   {"engine",
+                    "scalar|striped|simd4|simd8|simd16|simd4x32|simd8x32|"
+                    "simd16x8|simd32x8|auto|auto-generic|best"},
+                   {"precision",
+                    "lane element width for the best engine: auto (default; "
+                    "u8 with lossless i16 escalation) | i8 | i16 | i32 — "
+                    "excludes --engine"},
                    {"threads", "shared-memory workers (default 1 = sequential)"},
                    {"ranks",
                     "simulated cluster ranks incl. master (default 1 = no "
@@ -222,18 +263,27 @@ int cmd_find(int argc, char** argv) {
   if (args.has("fault-plan"))
     copt.fault_plan = cluster::FaultPlan::parse(args.get("fault-plan", ""));
   const std::string engine_name = args.get("engine", "best");
+  REPRO_CHECK_MSG(engine_name == "best" || !args.has("precision"),
+                  "--precision selects among the best engines of that width; "
+                  "it cannot be combined with an explicit --engine");
+  // Every run resolves to one concrete kind: an explicit --engine, the
+  // widest engine of the requested --precision, or the adaptive default
+  // ("best" = auto: u8 lanes with transparent, lossless i16 escalation).
+  const align::EngineKind kind =
+      engine_name != "best"
+          ? engine_kind_from(engine_name)
+          : engine_kind_for_precision(args.get("precision", "auto"));
   const bool want_repeats = args.get_flag("repeats");
   const std::string format = args.get("format", "text");
   const std::string metrics_path = args.get("metrics-json", "");
 
-  // An explicitly selected i16 engine saturates at 32767; fail upfront with
-  // the 32-bit alternatives rather than deep inside a kernel. ("best" picks
-  // widths per host, and its i16 kernels still detect actual saturation.)
-  if (engine_name != "best") {
-    const align::EngineKind kind = engine_kind_from(engine_name);
-    for (const auto& record : records)
-      align::check_i16_headroom(kind, record.length(), scoring);
-  }
+  // An explicitly selected saturating precision (u8 or i16) may be unable to
+  // represent this input's scores; fail upfront with the adaptive/32-bit
+  // alternatives rather than deep inside a kernel. (Adaptive and i32 kinds
+  // pass unconditionally; adaptive i16 escalation still detects actual
+  // saturation per sweep.)
+  for (const auto& record : records)
+    align::check_headroom(kind, record.length(), scoring);
 
   core::FinderStats total_stats;
   std::uint64_t total_tops = 0;
@@ -249,10 +299,7 @@ int cmd_find(int argc, char** argv) {
     core::FinderResult res;
     if (ranks > 1) {
       copt.finder = opt;
-      const auto factory =
-          engine_name == "best"
-              ? align::EngineFactory([] { return align::make_best_engine(); })
-              : align::engine_factory(engine_kind_from(engine_name));
+      const auto factory = align::engine_factory(kind);
       cluster::ClusterRunInfo info;
       res = cluster::find_top_alignments_cluster(record, scoring, copt, factory,
                                                  &info);
@@ -272,15 +319,10 @@ int cmd_find(int argc, char** argv) {
       parallel::ParallelOptions popt;
       popt.threads = threads;
       popt.finder = opt;
-      const auto factory =
-          engine_name == "best"
-              ? align::EngineFactory([] { return align::make_best_engine(); })
-              : align::engine_factory(engine_kind_from(engine_name));
+      const auto factory = align::engine_factory(kind);
       res = parallel::find_top_alignments_parallel(record, scoring, popt, factory);
     } else {
-      const auto engine = engine_name == "best"
-                              ? align::make_best_engine()
-                              : align::make_engine(engine_kind_from(engine_name));
+      const auto engine = align::make_engine(kind);
       res = core::find_top_alignments(record, scoring, opt, *engine);
     }
     total_stats.first_alignments += res.stats.first_alignments;
@@ -295,6 +337,10 @@ int cmd_find(int argc, char** argv) {
     total_stats.rows_skipped += res.stats.rows_skipped;
     total_stats.rows_swept += res.stats.rows_swept;
     total_stats.skipped_realignments += res.stats.skipped_realignments;
+    total_stats.i8_sweeps += res.stats.i8_sweeps;
+    total_stats.i16_sweeps += res.stats.i16_sweeps;
+    total_stats.precision_escalations += res.stats.precision_escalations;
+    total_stats.profile_hits += res.stats.profile_hits;
     total_stats.realign_seconds += res.stats.realign_seconds;
     total_stats.seconds += res.stats.seconds;
     total_stats.idle_seconds += res.stats.idle_seconds;
@@ -326,6 +372,7 @@ int cmd_find(int argc, char** argv) {
     obs::MetricsReport report("reprofind.find");
     report.param("fasta", args.get("fasta", ""));
     report.param("engine", engine_name);
+    report.param("precision", args.get("precision", "auto"));
     report.param("threads", threads);
     if (ranks > 1) {
       report.param("ranks", ranks);
@@ -366,6 +413,10 @@ int cmd_find(int argc, char** argv) {
     report.counter("ckpt_rows_skipped", total_stats.rows_skipped);
     report.counter("ckpt_rows_swept", total_stats.rows_swept);
     report.counter("skipped_realignments", total_stats.skipped_realignments);
+    report.counter("i8_sweeps", total_stats.i8_sweeps);
+    report.counter("i16_sweeps", total_stats.i16_sweeps);
+    report.counter("precision_escalations", total_stats.precision_escalations);
+    report.counter("profile_hits", total_stats.profile_hits);
     report.metric("realign_seconds", total_stats.realign_seconds);
     if (total_stats.rows_swept > 0)
       report.metric("ckpt_rows_skipped_pct",
@@ -420,6 +471,13 @@ int cmd_info() {
       {"simd4x32-sse41 (i32)", align::sse41_available()},
       {"simd16-avx2 (i16)", align::avx2_available()},
       {"simd8x32-avx2 (i32)", align::avx2_available()},
+#if REPRO_HAVE_SSE2
+      {"simd16x8-sse2 (u8, biased saturating)", true},
+#else
+      {"simd16x8-sse2 (u8, biased saturating)", false},
+#endif
+      {"simd32x8-avx2 (u8, biased saturating)", align::avx2_available()},
+      {"auto (adaptive u8 -> i16, widest ISA)", true},
   };
   for (const auto& [name, ok] : engines)
     std::cout << "  [" << (ok ? 'x' : ' ') << "] " << name << '\n';
